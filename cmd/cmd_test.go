@@ -1,0 +1,105 @@
+// Package cmd_test smoke-tests the three CLIs end to end through
+// `go run`, covering the user-facing surface the README documents.
+package cmd_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = ".."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// pythiac exits 1 on a detected fault — that is a success for
+		// the attack flows; callers check the output instead.
+		if _, isExit := err.(*exec.ExitError); !isExit {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+	}
+	return string(out)
+}
+
+func TestPythiacVanillaBends(t *testing.T) {
+	out := run(t, "./cmd/pythiac", "-scheme", "vanilla", "-stdin", "testdata/attack.txt", "testdata/demo.c")
+	if !strings.Contains(out, "access: ADMIN") {
+		t.Fatalf("vanilla attack should bend:\n%s", out)
+	}
+}
+
+func TestPythiacPythiaDetects(t *testing.T) {
+	out := run(t, "./cmd/pythiac", "-scheme", "pythia", "-stdin", "testdata/attack.txt", "testdata/demo.c")
+	if !strings.Contains(out, "FAULT") || !strings.Contains(out, "canary") {
+		t.Fatalf("pythia should canary-fault:\n%s", out)
+	}
+	if strings.Contains(out, "ADMIN") {
+		t.Fatalf("detection must precede the bend:\n%s", out)
+	}
+}
+
+func TestPythiacBenignClean(t *testing.T) {
+	out := run(t, "./cmd/pythiac", "-scheme", "pythia", "-stdin", "testdata/benign.txt", "testdata/demo.c")
+	if !strings.Contains(out, "access: user alice") || strings.Contains(out, "FAULT") {
+		t.Fatalf("benign run must be clean:\n%s", out)
+	}
+}
+
+func TestPythiacAnalyze(t *testing.T) {
+	out := run(t, "./cmd/pythiac", "-analyze", "testdata/demo.c")
+	for _, want := range []string{"input channels", "memory roots", "branches", "Eq.1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analysis output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPythiacEmitIR(t *testing.T) {
+	out := run(t, "./cmd/pythiac", "-scheme", "pythia", "-emit-ir", "testdata/demo.c")
+	for _, want := range []string{"define i64 @main", "canary.set", "canary.check"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("emitted IR missing %q", want)
+		}
+	}
+}
+
+func TestPythiaAttackList(t *testing.T) {
+	out := run(t, "./cmd/pythia-attack", "-list")
+	for _, want := range []string{"privesc-string-overflow", "pointer-dualism", "dfi-blindspot"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("case list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPythiaAttackSingleCase(t *testing.T) {
+	out := run(t, "./cmd/pythia-attack", "-case", "scanf-scalar-taint", "-scheme", "pythia")
+	if !strings.Contains(out, "detected") {
+		t.Fatalf("expected detection row:\n%s", out)
+	}
+}
+
+func TestPythiaBenchList(t *testing.T) {
+	out := run(t, "./cmd/pythia-bench", "-list")
+	for _, want := range []string{"fig4a", "fig7b", "bruteforce", "fieldcanary"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiment list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPythiaBenchSingleExperiment(t *testing.T) {
+	out := run(t, "./cmd/pythia-bench", "-experiment", "bruteforce")
+	if !strings.Contains(out, "E[tries]") || !strings.Contains(out, "16777216") {
+		t.Fatalf("bruteforce table malformed:\n%s", out)
+	}
+}
+
+func TestPythiaBenchMarkdownFormat(t *testing.T) {
+	out := run(t, "./cmd/pythia-bench", "-experiment", "bruteforce", "-format", "markdown")
+	if !strings.Contains(out, "| quantity | value |") {
+		t.Fatalf("markdown format broken:\n%s", out)
+	}
+}

@@ -1,0 +1,90 @@
+// Command pythia-attack mounts the paper's control-flow-bending attacks
+// (including the three §2.2/§3.1 motivating examples) against a chosen
+// defense scheme and reports whether each attack bent the control flow
+// or was detected — and by which mechanism.
+//
+// Usage:
+//
+//	pythia-attack                       # full matrix: corpus x schemes
+//	pythia-attack -case pointer-dualism # one case, all schemes
+//	pythia-attack -scheme pythia        # all cases, one scheme
+//	pythia-attack -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+)
+
+var schemeNames = map[string]core.Scheme{
+	"vanilla": core.SchemeVanilla,
+	"cpa":     core.SchemeCPA,
+	"pythia":  core.SchemePythia,
+	"dfi":     core.SchemeDFI,
+}
+
+func main() {
+	var (
+		caseName   = flag.String("case", "", "run only this attack case")
+		schemeName = flag.String("scheme", "", "run only this scheme")
+		list       = flag.Bool("list", false, "list attack cases and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range attack.Corpus() {
+			fmt.Printf("%-26s %s\n", c.Name, c.Kind)
+		}
+		return
+	}
+
+	cases := attack.Corpus()
+	if *caseName != "" {
+		c := attack.CaseByName(*caseName)
+		if c == nil {
+			fmt.Fprintf(os.Stderr, "pythia-attack: unknown case %q\n", *caseName)
+			os.Exit(2)
+		}
+		cases = []attack.Case{*c}
+	}
+	schemes := core.Schemes
+	if *schemeName != "" {
+		s, ok := schemeNames[*schemeName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pythia-attack: unknown scheme %q\n", *schemeName)
+			os.Exit(2)
+		}
+		schemes = []core.Scheme{s}
+	}
+
+	fmt.Printf("%-26s %-9s %-8s %-22s %s\n", "case", "scheme", "benign", "attack", "detecting fault")
+	exitCode := 0
+	for _, c := range cases {
+		c := c
+		for _, s := range schemes {
+			o, err := attack.Run(&c, s)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pythia-attack: %s/%v: %v\n", c.Name, s, err)
+				os.Exit(1)
+			}
+			faultDesc := "-"
+			if o.Fault != nil {
+				faultDesc = o.Fault.Error()
+				if len(faultDesc) > 60 {
+					faultDesc = faultDesc[:60] + "..."
+				}
+			}
+			fmt.Printf("%-26s %-9v %-8v %-22v %s\n", c.Name, s, o.Benign, o.Attack, faultDesc)
+			// A protected scheme letting the attack bend is the signal
+			// the harness exists to expose; reflect it in the exit code.
+			if s == core.SchemePythia && o.Attack == attack.VerdictBent {
+				exitCode = 1
+			}
+		}
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,67 @@
+// Command pythia-bench regenerates every table and figure of the paper's
+// evaluation on the simulated machine.
+//
+// Usage:
+//
+//	pythia-bench                  # run every experiment
+//	pythia-bench -experiment fig4a
+//	pythia-bench -quick           # 3-benchmark smoke subset
+//	pythia-bench -list
+//	pythia-bench -format markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expID  = flag.String("experiment", "", "run only this experiment id (see -list)")
+		quick  = flag.Bool("quick", false, "run on a 3-benchmark subset")
+		format = flag.String("format", "ascii", "output format: ascii, markdown, csv")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Quick = *quick
+
+	run := func(e bench.Experiment) {
+		t, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pythia-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "markdown":
+			fmt.Println(t.Markdown())
+		case "csv":
+			fmt.Println(t.CSV())
+		default:
+			fmt.Println(t.String())
+		}
+	}
+
+	if *expID != "" {
+		e, err := bench.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+			os.Exit(1)
+		}
+		run(e)
+		return
+	}
+	for _, e := range bench.All() {
+		run(e)
+	}
+}

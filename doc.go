@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Pythia:
+// Compiler-Guided Defense Against Non-Control Data Attacks" (Khan,
+// Chatterjee, Pande — ASPLOS 2024).
+//
+// The public entry points live in internal/core (compile / protect /
+// run), internal/bench (one experiment per paper figure), and the cmd/
+// binaries (pythiac, pythia-bench, pythia-attack). See README.md for a
+// tour and DESIGN.md for the substitution map (LLVM → internal/ir+minic,
+// ARM-PA hardware → internal/pa, SPEC/nginx → internal/workload).
+package repro

@@ -1,0 +1,56 @@
+// Package examples_test smoke-builds every runnable example so the
+// documented entry points can never rot.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run the simulator")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"quickstart": "DETECTED",
+		"privesc":    "detected",
+		"proftpd":    "detected",
+		"dualism":    "detected",
+		"nginxsim":   "pythia",
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		marker, ok := want[name]
+		if !ok {
+			t.Errorf("example %s has no expectation registered", name)
+			continue
+		}
+		found++
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Base(name))
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run: %v\n%s", err, out)
+			}
+			if !strings.Contains(strings.ToLower(string(out)), strings.ToLower(marker)) {
+				t.Fatalf("output missing %q:\n%s", marker, out)
+			}
+		})
+	}
+	if found != len(want) {
+		t.Fatalf("found %d example dirs, want %d", found, len(want))
+	}
+}

@@ -1,0 +1,43 @@
+// ProFTPd demo: the paper's second motivating example (§2.2, Listing 2)
+// — a faulty bound check lets a copy loop corrupt the length variable,
+// after which the unbounded loop tramples the frame (the structure of
+// the real sreplace() DOP attack).
+//
+//	go run ./examples/proftpd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+)
+
+func main() {
+	c := attack.CaseByName("proftpd-sreplace")
+	if c == nil {
+		log.Fatal("corpus case missing")
+	}
+	fmt.Println("Listing 2 (sreplace): the off-by-one check admits one")
+	fmt.Println("out-of-bounds byte, which corrupts `blen`; every later loop")
+	fmt.Println("iteration then writes further out of bounds until the branch")
+	fmt.Println("variable `secret` is attacker-controlled.")
+	fmt.Println()
+	for _, scheme := range core.Schemes {
+		o, err := attack.Run(c, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		detail := ""
+		if o.Fault != nil {
+			detail = " — " + o.Fault.Error()
+		}
+		fmt.Printf("%-9v benign=%-6v attack=%v%s\n", scheme, o.Benign, o.Attack, detail)
+	}
+	fmt.Println()
+	fmt.Println("Expected: DFI misses the corruption because the overflowing")
+	fmt.Println("store goes through pointer arithmetic (cp++) it cannot reason")
+	fmt.Println("about — exactly the weakness §2.2 describes. CPA's sealed")
+	fmt.Println("`blen`/`secret` and Pythia's canary both fault first.")
+}

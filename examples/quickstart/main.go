@@ -1,0 +1,61 @@
+// Quickstart: compile a small C program, protect it with Pythia, run it
+// with benign and malicious input, and watch the defense fire.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// The victim: a classic authentication gate. gets() can overflow `name`
+// into `admin`, bending the privilege branch.
+const src = `
+void pin(long *x) { }
+int main() {
+	char name[8];
+	long admin;
+	pin(&admin);
+	admin = 0;
+	gets(name);
+	if (admin != 0) {
+		printf("access: ADMIN\n");
+		return 1;
+	}
+	printf("access: user %s\n", name);
+	return 0;
+}
+`
+
+func main() {
+	for _, scheme := range []core.Scheme{core.SchemeVanilla, core.SchemePythia} {
+		fmt.Printf("=== scheme: %v ===\n", scheme)
+		// Each run gets a fresh program: protection instruments the
+		// module in place.
+		for _, in := range []struct{ label, stdin string }{
+			{"benign", "alice\n"},
+			{"attack", "AAAAAAAAAAAAAAAAAAAAAAAA\n"},
+		} {
+			prog, err := core.Build("quickstart", src, scheme)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := prog.Run(in.stdin)
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch {
+			case res.Fault != nil:
+				fmt.Printf("%-7s -> DETECTED: %v\n", in.label, res.Fault)
+			default:
+				fmt.Printf("%-7s -> ret=%d stdout=%q\n", in.label, int64(res.Ret), res.Stdout)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("The vanilla build grants ADMIN under attack; Pythia's canary")
+	fmt.Println("faults before the bent branch can execute.")
+}

@@ -1,0 +1,91 @@
+package attack_test
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+)
+
+// TestVanillaAttacksBend verifies the ground truth: every corpus attack
+// bends the unprotected program, and every benign input runs clean.
+func TestVanillaAttacksBend(t *testing.T) {
+	for _, c := range attack.Corpus() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			o, err := attack.Run(&c, core.SchemeVanilla)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Benign != attack.VerdictClean {
+				t.Errorf("benign run under vanilla: %v (want clean)", o.Benign)
+			}
+			if o.Attack != attack.VerdictBent {
+				t.Errorf("attack under vanilla: %v (want bent)", o.Attack)
+			}
+		})
+	}
+}
+
+// TestPythiaDetectsAll verifies Pythia's headline claim on the corpus:
+// benign inputs stay clean and every attack is detected before the bend.
+func TestPythiaDetectsAll(t *testing.T) {
+	for _, c := range attack.Corpus() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			o, err := attack.Run(&c, core.SchemePythia)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Benign != attack.VerdictClean {
+				t.Errorf("benign run under pythia: %v (want clean)", o.Benign)
+			}
+			if o.Attack == attack.VerdictBent {
+				t.Errorf("attack bent control flow under pythia")
+			}
+		})
+	}
+}
+
+// TestCPADetects verifies the conservative scheme also stops the corpus.
+func TestCPADetects(t *testing.T) {
+	for _, c := range attack.Corpus() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			o, err := attack.Run(&c, core.SchemeCPA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Benign != attack.VerdictClean {
+				t.Errorf("benign run under cpa: %v (want clean)", o.Benign)
+			}
+			if o.Attack == attack.VerdictBent {
+				t.Errorf("attack bent control flow under cpa")
+			}
+		})
+	}
+}
+
+// TestDFIBlindspot verifies the differential the paper builds on: DFI
+// stays sound on benign input, detects the resolvable-destination
+// attacks, but misses the pointer-arithmetic channel that Pythia stops.
+func TestDFIBlindspot(t *testing.T) {
+	for _, c := range attack.Corpus() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			o, err := attack.Run(&c, core.SchemeDFI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Benign != attack.VerdictClean {
+				t.Errorf("benign run under dfi: %v (want clean)", o.Benign)
+			}
+			if c.Name == "dfi-blindspot" {
+				if o.Attack != attack.VerdictBent {
+					t.Errorf("dfi-blindspot attack = %v; DFI should miss it (bent)", o.Attack)
+				}
+				return
+			}
+		})
+	}
+}

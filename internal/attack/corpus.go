@@ -1,0 +1,308 @@
+// Package attack mounts the paper's control-flow-bending attacks against
+// programs running on the simulated machine and classifies the outcome:
+// did the program bend (attack succeeded), did a defense fault first
+// (detected, and by which mechanism), or was the attack ineffective.
+//
+// Attacks are ordinary program inputs: every exploit enters through an
+// input channel, exactly as in the threat model (§2.5).
+//
+// Corpus programs use a `pin(&x)` no-op helper to keep the targeted
+// scalars address-taken: at -O3 (mem2reg) a never-addressed scalar lives
+// in a register and is not attackable — the same is true of the paper's
+// LLVM pipeline.
+package attack
+
+import "strings"
+
+// Case is one attack scenario: a MiniC program, a benign input that must
+// run clean under every scheme, and a malicious input that bends the
+// control flow of the unprotected program.
+type Case struct {
+	Name string
+	// Source is the victim program. Convention: main prints "GRANTED"
+	// and returns 99 only on the bent path.
+	Source    string
+	Benign    string
+	Malicious string
+	// BenignRet is main's expected return value on benign input.
+	BenignRet int64
+	// Kind describes the memory-corruption vector.
+	Kind string
+}
+
+// Bent reports whether the run's observable behaviour shows the bent
+// (privileged) path executed.
+func Bent(stdout []byte, ret uint64) bool {
+	return strings.Contains(string(stdout), "GRANTED") || int64(ret) == bentRet
+}
+
+// bentRet is the return-value convention for bent control flow.
+const bentRet = 99
+
+const pinHelper = `
+void pin(long *x) { }
+`
+
+// Corpus returns the attack scenarios, including the paper's three
+// motivating listings (§2.2, §3.1) recast in the MiniC subset.
+func Corpus() []Case {
+	return []Case{
+		{
+			Name: "privesc-string-overflow",
+			Kind: "stack-smash",
+			// Listing 1: the gets() into str overflows into user,
+			// flipping the strncmp branch — privilege escalation.
+			Source: pinHelper + `
+void verify_user(char *user, char *pwd) {
+	if (strcmp(pwd, "letmein") == 0) {
+		strcpy(user, "admin");
+	} else {
+		strcpy(user, "guest");
+	}
+}
+int main() {
+	char str[16];
+	char user[8];
+	char pwd[32];
+	fgets(pwd, 32);
+	verify_user(user, pwd);
+	if (strncmp(user, "admin", 5) == 0) {
+		printf("GRANTED\n");
+	} else {
+		printf("normal\n");
+	}
+	gets(str);
+	if (strncmp(user, "admin", 5) == 0) {
+		printf("GRANTED\n");
+		return 99;
+	}
+	printf("normal\n");
+	return 0;
+}`,
+			Benign:    "wrongpass\nhello\n",
+			Malicious: "wrongpass\nAAAAAAAAAAAAAAAAadmin\n",
+			BenignRet: 0,
+		},
+		{
+			Name: "proftpd-sreplace",
+			Kind: "loop-overflow",
+			// Listing 2 (condensed): the copy loop's bound check is off
+			// by one, the first out-of-bounds byte corrupts the length
+			// variable, and the now-unbounded loop tramples the frame —
+			// the ProFTPd length-corruption structure.
+			Source: pinHelper + `
+int main() {
+	char buf[16];
+	long blen;
+	long secret;
+	pin(&blen);
+	pin(&secret);
+	blen = 16;
+	secret = 0;
+	char src[64];
+	gets(src);
+	long n = strlen(src);
+	long i = 0;
+	char *cp = buf;
+	while (i < n) {
+		if ((cp - buf) > blen) {   /* faulty check: admits index blen */
+			cp = buf + blen - 1;
+		}
+		*cp = src[i];
+		cp++;
+		i++;
+	}
+	if (secret != 0) {
+		printf("GRANTED\n");
+		return 99;
+	}
+	printf("normal\n");
+	return 0;
+}`,
+			Benign:    "shortstring\n",
+			Malicious: "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA\n",
+			BenignRet: 0,
+		},
+		{
+			Name: "pointer-dualism",
+			Kind: "pointer-misdirection",
+			// Listing 3: the overflow corrupts the stride l, positioning
+			// p onto m through the array/pointer dualism, and the
+			// program's own store bends m > n.
+			Source: pinHelper + `
+int main() {
+	int Arr[8];
+	int m;
+	char tag[8];
+	int l;
+	pin(&m);
+	pin(&l);
+	int n = 5;
+	m = 1;
+	l = 2;
+	int *p = Arr;
+	gets(tag);      /* overflow tag -> l */
+	p = p + l;      /* l is the element stride */
+	*p = n + 1;     /* misdirected: p aliases m for l == 9 */
+	if (m > n) {
+		printf("GRANTED\n");
+		return 99;
+	}
+	printf("normal\n");
+	return 0;
+}`,
+			Benign: "hi\n",
+			// Eight filler bytes then l's low byte = 8: Arr is 8 ints
+			// (64 B) and m sits right after it, 8 elements past Arr.
+			Malicious: "AAAAAAAA\x08\n",
+			BenignRet: 0,
+		},
+		{
+			Name: "heap-overflow",
+			Kind: "heap-overflow",
+			// Two adjacent heap chunks: overflowing the first corrupts
+			// the branch variable stored in the second.
+			Source: `
+int main() {
+	char *buf = malloc(16);
+	long *flag = malloc(8);
+	*flag = 0;
+	gets(buf);
+	if (*flag != 0) {
+		printf("GRANTED\n");
+		return 99;
+	}
+	printf("normal\n");
+	return 0;
+}`,
+			Benign:    "ok\n",
+			Malicious: "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA\n",
+			BenignRet: 0,
+		},
+		{
+			Name: "interprocedural-overflow",
+			Kind: "interproc",
+			// The callee overflows a caller buffer passed by pointer,
+			// spilling into the caller's branch variable (§4.4).
+			Source: pinHelper + `
+void fill_from_input(char *dst) {
+	gets(dst);
+}
+int main() {
+	char name[8];
+	long admin;
+	pin(&admin);
+	admin = 0;
+	fill_from_input(name);
+	if (admin != 0) {
+		printf("GRANTED\n");
+		return 99;
+	}
+	printf("normal\n");
+	return 0;
+}`,
+			Benign:    "bob\n",
+			Malicious: "AAAAAAAAAAAAAAAAAAAAAAAA\n",
+			BenignRet: 0,
+		},
+		{
+			Name: "scanf-scalar-taint",
+			Kind: "direct-taint",
+			// Direct branch-variable taint through a %s scan overflowing
+			// a numeric gate: the simplest control-flow bend.
+			Source: pinHelper + `
+int main() {
+	char tag[8];
+	long gate;
+	pin(&gate);
+	gate = 0;
+	scanf("%s", tag);
+	if (gate == 4919) {
+		printf("GRANTED\n");
+		return 99;
+	}
+	printf("normal\n");
+	return 0;
+}`,
+			Benign: "hi\n",
+			// 8 filler bytes then 0x1337 little-endian in the gate word.
+			Malicious: "AAAAAAAA\x37\x13\x00\x00\x00\x00\x00\x00\n",
+			BenignRet: 0,
+		},
+		{
+			Name: "callee-manual-copy",
+			Kind: "interproc-manual",
+			// The callee overflows the caller's buffer with its own copy
+			// loop (no wrapper classification possible) — the §4.4
+			// interprocedural case that requires checking the aliased
+			// canary after the call returns.
+			Source: pinHelper + `
+void take_input(char *dst) {
+	char raw[40];
+	gets(raw);
+	long i = 0;
+	while (raw[i] != 0) {
+		dst[i] = raw[i];
+		i++;
+	}
+	dst[i] = 0;
+}
+int main() {
+	char name[8];
+	long admin;
+	pin(&admin);
+	admin = 0;
+	take_input(name);
+	if (admin != 0) {
+		printf("GRANTED\n");
+		return 99;
+	}
+	printf("normal\n");
+	return 0;
+}`,
+			Benign:    "eve\n",
+			Malicious: "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA\n",
+			BenignRet: 0,
+		},
+		{
+			Name: "dfi-blindspot",
+			Kind: "ptr-arith-channel",
+			// The channel's destination involves pointer arithmetic, so
+			// DFI assigns the write its always-allowed wildcard and the
+			// bend goes unnoticed; Pythia's canary still sits between
+			// the buffer and the gate.
+			Source: pinHelper + `
+int main() {
+	char buf[16];
+	long gate;
+	pin(&gate);
+	gate = 0;
+	int off;
+	scanf("%d", &off);
+	gets(buf + off);   /* computed destination: DFI loses track */
+	if (gate != 0) {
+		printf("GRANTED\n");
+		return 99;
+	}
+	printf("normal\n");
+	return 0;
+}`,
+			// scanf leaves the rest of the line for gets, so the offset
+			// and the payload share one line (as a real exploit would).
+			Benign:    "0 short\n",
+			Malicious: "0 AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA\n",
+			BenignRet: 0,
+		},
+	}
+}
+
+// CaseByName returns the named case or nil.
+func CaseByName(name string) *Case {
+	for _, c := range Corpus() {
+		if c.Name == name {
+			cc := c
+			return &cc
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// Verdict classifies one attacked run.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictClean: the run finished on the normal path.
+	VerdictClean Verdict = iota
+	// VerdictBent: the attack succeeded — control flow took the
+	// privileged path.
+	VerdictBent
+	// VerdictDetected: a defense mechanism faulted before the bend.
+	VerdictDetected
+	// VerdictCrashed: the program crashed for an unrelated reason
+	// (plain segv in the unprotected binary counts here).
+	VerdictCrashed
+)
+
+var verdictNames = [...]string{"clean", "bent", "detected", "crashed"}
+
+func (v Verdict) String() string {
+	if v < 0 || int(v) >= len(verdictNames) {
+		return "?"
+	}
+	return verdictNames[v]
+}
+
+// Outcome is the result of attacking one case under one scheme.
+type Outcome struct {
+	Case   string
+	Scheme core.Scheme
+	Benign Verdict // must be VerdictClean for a sound defense
+	Attack Verdict
+	Fault  *vm.Fault // the detecting fault, when Attack == VerdictDetected
+	PAUsed int64     // dynamic PA instructions during the attacked run
+}
+
+// Run builds the case under the scheme and runs benign + malicious
+// inputs on fresh machines.
+func Run(c *Case, scheme core.Scheme) (*Outcome, error) {
+	out := &Outcome{Case: c.Name, Scheme: scheme}
+
+	benignProg, err := core.Build(c.Name, c.Source, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("attack: build %s/%v: %w", c.Name, scheme, err)
+	}
+	bres, err := benignProg.Run(c.Benign)
+	if err != nil {
+		return nil, err
+	}
+	out.Benign = classify(bres)
+
+	attackProg, err := core.Build(c.Name, c.Source, scheme)
+	if err != nil {
+		return nil, err
+	}
+	ares, err := attackProg.Run(c.Malicious)
+	if err != nil {
+		return nil, err
+	}
+	out.Attack = classify(ares)
+	if out.Attack == VerdictDetected {
+		out.Fault = ares.Fault
+	}
+	out.PAUsed = ares.Counters.PAInstrs
+	return out, nil
+}
+
+// classify maps a run result to a verdict.
+func classify(res *vm.Result) Verdict {
+	if res.Fault != nil {
+		switch res.Fault.Kind {
+		case vm.FaultPAC, vm.FaultCanary, vm.FaultDFI:
+			return VerdictDetected
+		default:
+			return VerdictCrashed
+		}
+	}
+	if Bent(res.Stdout, res.Ret) {
+		return VerdictBent
+	}
+	return VerdictClean
+}
+
+// Matrix runs the whole corpus under the given schemes.
+func Matrix(schemes []core.Scheme) ([]*Outcome, error) {
+	var out []*Outcome
+	for _, c := range Corpus() {
+		c := c
+		for _, s := range schemes {
+			o, err := Run(&c, s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, o)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+// Package bench is the experiment harness: one Experiment per table or
+// figure in the paper's evaluation (§6), each regenerating the same rows
+// or series the paper reports on the simulated machine.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Config selects what the experiments run over.
+type Config struct {
+	Profiles []workload.Profile
+	// Quick trims the profile list to three representatives for smoke
+	// runs (lbm, gcc, nginx).
+	Quick bool
+}
+
+// DefaultConfig runs everything.
+func DefaultConfig() *Config { return &Config{Profiles: workload.Profiles()} }
+
+func (c *Config) profiles() []workload.Profile {
+	if !c.Quick {
+		return c.Profiles
+	}
+	var out []workload.Profile
+	for _, p := range c.Profiles {
+		switch p.Name {
+		case "519.lbm_r", "502.gcc_r", "nginx":
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Experiment regenerates one figure/table.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Config) (*report.Table, error)
+}
+
+// All returns the experiment registry in the paper's order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig4a", "Runtime overhead: CPA vs Pythia (normalized to vanilla)", Fig4aRuntimeOverhead},
+		{"fig4b", "Binary size increase: CPA vs Pythia", Fig4bBinarySize},
+		{"fig5a", "IPC degradation: CPA vs Pythia", Fig5aIPC},
+		{"fig5b", "Input-channel distribution by category", Fig5bInputChannels},
+		{"fig6a", "Vulnerable variables: CPA vs Pythia refinement", Fig6aVulnerableVars},
+		{"fig6b", "ARM-PA instructions: static and dynamic, CPA vs Pythia", Fig6bPAInstructions},
+		{"fig7a", "Pointers in backward slices / branch density", Fig7aPointerBackslice},
+		{"fig7b", "Branches secured: DFI vs Pythia", Fig7bBranchSecurity},
+		{"attackdist", "Attack distance: input channel vs DFI vs Pythia", AttackDistance},
+		{"nginx", "Nginx case study: overheads and channels", NginxStudy},
+		{"eqbounds", "Analytic instruction bounds (Eq. 1 vs Eq. 5)", EqBounds},
+		{"bruteforce", "Canary brute-force model (Eq. 6)", BruteForce},
+		{"attacks", "Attack corpus outcome matrix (incl. §6.3 listings)", AttackMatrix},
+		{"ablation", "Pythia design ablation (stack/heap/relayout)", Ablation},
+		{"fieldcanary", "Intra-struct overflow: §6.4 limitation and the field-canary extension", FieldCanary},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// sortedKeys is a small helper for deterministic map iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,63 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b",
+		"attackdist", "nginx", "eqbounds", "bruteforce", "attacks", "ablation",
+		"fieldcanary",
+	}
+	all := bench.All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" {
+			t.Fatalf("%s has no title", id)
+		}
+	}
+	if _, err := bench.ByID("fig4a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.ByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+// TestEveryExperimentRunsQuick executes the full registry on the quick
+// subset — the integration gate for the whole harness.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick subset still takes ~20s")
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Quick = true
+	for _, e := range bench.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			if tbl.ID != e.ID {
+				t.Fatalf("table id %q", tbl.ID)
+			}
+			out := tbl.String()
+			if !strings.Contains(out, e.ID) {
+				t.Fatal("rendered table must carry its id")
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+// Package core is the public facade of the Pythia reproduction: compile
+// a C-subset program (or take a prebuilt IR module), apply one of the
+// defense schemes, and run it on the simulated machine with attacker-
+// controlled input.
+//
+// Typical use:
+//
+//	prog, err := core.Build("demo", src, core.SchemePythia)
+//	res, err := prog.Run("benign input\n")
+//	if res.Fault != nil { /* the defense fired */ }
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dfi"
+	"repro/internal/harden"
+	"repro/internal/ir"
+	"repro/internal/irpass"
+	"repro/internal/minic"
+	"repro/internal/perf"
+	"repro/internal/slice"
+	"repro/internal/vm"
+)
+
+// Scheme re-exports the defense configurations.
+type Scheme = harden.Scheme
+
+// The supported schemes.
+const (
+	SchemeVanilla    = harden.Vanilla
+	SchemeCPA        = harden.CPA
+	SchemePythia     = harden.Pythia
+	SchemeDFI        = harden.DFIScheme
+	SchemeStackOnly  = harden.PythiaStackOnly
+	SchemeHeapOnly   = harden.PythiaHeapOnly
+	SchemeNoRelayout = harden.PythiaNoRelayout
+	SchemeFields     = harden.PythiaFields
+)
+
+// Schemes lists the four headline configurations in evaluation order.
+var Schemes = []Scheme{SchemeVanilla, SchemeCPA, SchemePythia, SchemeDFI}
+
+// Protection describes what a scheme instrumented.
+type Protection struct {
+	Scheme Scheme
+	Harden *harden.Report // nil for DFI
+	DFI    *dfi.Report    // nil for the PA schemes
+}
+
+// PAInstrs returns the static count of defense instructions inserted.
+func (p *Protection) PAInstrs() int {
+	switch {
+	case p.Harden != nil:
+		return p.Harden.PAInstrs
+	case p.DFI != nil:
+		return p.DFI.SetDefs + p.DFI.ChkDefs
+	}
+	return 0
+}
+
+// Program is a compiled, protected module ready to run.
+type Program struct {
+	Mod        *ir.Module
+	Protection *Protection
+	Seed       int64
+}
+
+// CompileC compiles MiniC source to an optimized (mem2reg + folding) IR
+// module — the paper's "-O3 + mem2reg" preprocessing.
+func CompileC(name, src string) (*ir.Module, error) {
+	mod, err := minic.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	irpass.Optimize(mod)
+	return mod, nil
+}
+
+// Protect applies the scheme's instrumentation to mod in place.
+func Protect(mod *ir.Module, scheme Scheme) (*Protection, error) {
+	if scheme == SchemeDFI {
+		r, err := dfi.Apply(mod)
+		if err != nil {
+			return nil, err
+		}
+		return &Protection{Scheme: scheme, DFI: r}, nil
+	}
+	r, err := harden.Apply(mod, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &Protection{Scheme: scheme, Harden: r}, nil
+}
+
+// Build compiles src and protects it with the scheme.
+func Build(name, src string, scheme Scheme) (*Program, error) {
+	mod, err := CompileC(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile %s: %w", name, err)
+	}
+	prot, err := Protect(mod, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("core: protect %s with %v: %w", name, scheme, err)
+	}
+	return &Program{Mod: mod, Protection: prot, Seed: 42}, nil
+}
+
+// NewMachine instantiates a fresh VM for the program.
+func (p *Program) NewMachine() *vm.Machine {
+	return vm.New(p.Mod, vm.Config{Seed: p.Seed})
+}
+
+// Run executes main() with the given stdin contents on a fresh machine.
+func (p *Program) Run(stdin string, args ...uint64) (*vm.Result, error) {
+	m := p.NewMachine()
+	m.Stdin.SetInput([]byte(stdin))
+	return m.Run("main", args...)
+}
+
+// Analyze runs the vulnerability analysis without instrumenting.
+func Analyze(mod *ir.Module) *slice.VulnReport {
+	return slice.AnalyzeVulnerabilities(mod)
+}
+
+// BinarySize reports the estimated code size of the module in bytes.
+func BinarySize(mod *ir.Module) int64 { return perf.BinarySize(mod) }

@@ -1,0 +1,145 @@
+package dataflow
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Liveness holds per-block live-in/live-out sets of SSA values — the
+// classical backward dataflow. The stack planner uses the peak number of
+// simultaneously live values as a register-pressure proxy (the paper's
+// machine pass instruments the spills this pressure forces; see §5).
+type Liveness struct {
+	In  map[*ir.Block]map[ir.Value]bool
+	Out map[*ir.Block]map[ir.Value]bool
+}
+
+// ComputeLiveness runs the standard iterative backward analysis on f.
+// Only instruction results and parameters participate (constants and
+// globals are always materializable).
+func ComputeLiveness(f *ir.Func, g *cfg.Graph) *Liveness {
+	lv := &Liveness{
+		In:  make(map[*ir.Block]map[ir.Value]bool, len(f.Blocks)),
+		Out: make(map[*ir.Block]map[ir.Value]bool, len(f.Blocks)),
+	}
+	// use[b]: values read in b before any (re)definition; def[b]: values
+	// defined in b. Phi uses are attributed to the predecessor edge.
+	use := make(map[*ir.Block]map[ir.Value]bool, len(f.Blocks))
+	def := make(map[*ir.Block]map[ir.Value]bool, len(f.Blocks))
+	phiUse := make(map[*ir.Block]map[ir.Value]bool, len(f.Blocks)) // pred -> values its edges feed
+
+	trackable := func(v ir.Value) bool {
+		switch v.(type) {
+		case *ir.Instr, *ir.Param:
+			return true
+		}
+		return false
+	}
+
+	for _, b := range f.Blocks {
+		use[b] = make(map[ir.Value]bool)
+		def[b] = make(map[ir.Value]bool)
+		lv.In[b] = make(map[ir.Value]bool)
+		lv.Out[b] = make(map[ir.Value]bool)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for _, e := range in.Incoming {
+					if trackable(e.Val) {
+						if phiUse[e.Pred] == nil {
+							phiUse[e.Pred] = make(map[ir.Value]bool)
+						}
+						phiUse[e.Pred][e.Val] = true
+					}
+				}
+			} else {
+				for _, a := range in.Args {
+					if trackable(a) && !def[b][a] {
+						use[b][a] = true
+					}
+				}
+			}
+			if in.HasResult() {
+				def[b][in] = true
+			}
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		// Backward order converges fastest: iterate RPO reversed.
+		for i := len(g.RPO) - 1; i >= 0; i-- {
+			b := g.RPO[i]
+			out := make(map[ir.Value]bool)
+			for _, s := range b.Succs() {
+				for v := range lv.In[s] {
+					// A phi result is defined at the head of s; its
+					// operands flow in via phiUse instead.
+					out[v] = true
+				}
+			}
+			for v := range phiUse[b] {
+				out[v] = true
+			}
+			in := make(map[ir.Value]bool, len(out)+len(use[b]))
+			for v := range use[b] {
+				in[v] = true
+			}
+			for v := range out {
+				if !def[b][v] {
+					in[v] = true
+				}
+			}
+			if !sameSet(out, lv.Out[b]) || !sameSet(in, lv.In[b]) {
+				lv.Out[b] = out
+				lv.In[b] = in
+				changed = true
+			}
+		}
+	}
+	// Phi results defined at block heads must not appear in their own
+	// live-in (they are defs of the block).
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			delete(lv.In[b], phi)
+		}
+	}
+	return lv
+}
+
+func sameSet(a, b map[ir.Value]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxPressure returns the largest live-set size at any block boundary —
+// the register-pressure proxy.
+func (lv *Liveness) MaxPressure() int {
+	max := 0
+	for _, s := range lv.In {
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	for _, s := range lv.Out {
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	return max
+}
+
+// LiveAcross reports whether v is live out of the block containing at —
+// the values a call at that point would force to spill.
+func (lv *Liveness) LiveAcross(b *ir.Block, v ir.Value) bool {
+	return lv.Out[b][v]
+}

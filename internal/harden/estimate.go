@@ -1,0 +1,112 @@
+package harden
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/slice"
+)
+
+// Bounds holds the analytic instruction-overhead model of §4.2/§4.4:
+// Eq. 1 for CPA (B·v·(2u+1)) and Eq. 5 for Pythia (B·(1+2du)·v' + sv·du),
+// together with the measured parameters they were evaluated at.
+type Bounds struct {
+	Branches int     // B
+	VulnCPA  int     // v  (unrefined vulnerable variables)
+	AvgUses  float64 // u  (average uses per vulnerable variable)
+
+	StackVuln int     // sv (refined, statically allocated)
+	HeapVuln  int     // hv (refined, dynamically allocated)
+	AvgICUses float64 // du (average input-channel uses per variable)
+
+	CPABound    float64 // Eq. 1
+	PythiaBound float64 // Eq. 5
+}
+
+// EstimateBounds evaluates the paper's analytic instruction bounds on
+// the analyzed module. The harness compares these against the actual
+// static instrumentation counts (they must upper-bound them).
+func EstimateBounds(vr *slice.VulnReport) Bounds {
+	b := Bounds{Branches: len(vr.Branches), VulnCPA: len(vr.CPAVars)}
+
+	// u: average number of uses (loads) per unrefined vulnerable root.
+	totalUses := 0
+	for root := range vr.CPAVars {
+		totalUses += usesOf(vr.Analysis, root)
+	}
+	if b.VulnCPA > 0 {
+		b.AvgUses = float64(totalUses) / float64(b.VulnCPA)
+	}
+
+	// sv / hv: partition of the refined set by storage class.
+	icUses := 0
+	for root := range vr.PythiaVars {
+		switch r := root.(type) {
+		case *ir.Instr:
+			if r.Op == ir.OpAlloca {
+				b.StackVuln++
+			} else {
+				b.HeapVuln++
+			}
+		case *ir.Global:
+			b.StackVuln++ // statically allocated
+		}
+		icUses += icUsesOf(vr.Analysis, root)
+	}
+	refined := b.StackVuln + b.HeapVuln
+	if refined > 0 {
+		b.AvgICUses = float64(icUses) / float64(refined)
+	}
+
+	B := float64(b.Branches)
+	b.CPABound = B * float64(b.VulnCPA) * (2*b.AvgUses + 1)
+	b.PythiaBound = B*(1+2*b.AvgICUses)*float64(refined) + float64(b.StackVuln)*b.AvgICUses
+	return b
+}
+
+// usesOf counts every use of a root: loads reading it plus direct
+// appearances of its address as an operand (call arguments, address
+// computations) — the paper's u covers all of these, since each becomes
+// an authentication point.
+func usesOf(a *slice.Analysis, root ir.Value) int {
+	countIn := func(f *ir.Func) int {
+		c := a.Chains(f)
+		n := len(c.MemUses[root])
+		for _, u := range c.Uses[root] {
+			if u.User.Op != ir.OpStore && u.User.Op != ir.OpLoad {
+				n++
+			}
+		}
+		return n
+	}
+	if fn := funcOf(root); fn != nil {
+		return countIn(fn)
+	}
+	// Global: count module-wide.
+	n := 0
+	for _, f := range a.Mod.Defined() {
+		n += countIn(f)
+	}
+	return n
+}
+
+// icUsesOf counts how many input-channel calls touch the root.
+func icUsesOf(a *slice.Analysis, root ir.Value) int {
+	obj := a.AA.ObjectOf(root)
+	n := 0
+	for _, site := range a.Sites {
+		for _, arg := range site.Call.Args {
+			if dataflow.MemRoot(arg) == root || (obj != nil && a.AA.MayPointToObject(arg, obj)) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func funcOf(root ir.Value) *ir.Func {
+	if in, ok := root.(*ir.Instr); ok && in.Block != nil {
+		return in.Block.Parent
+	}
+	return nil
+}

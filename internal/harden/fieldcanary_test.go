@@ -1,0 +1,150 @@
+package harden_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// intraStructSrc: the §6.4 limitation scenario — the channel overflows a
+// struct's array field into a sibling privilege field of the SAME
+// object, so the frame-level canaries (which sit between objects) never
+// see it.
+const intraStructSrc = `
+struct session {
+	char name[8];
+	long priv;
+};
+int main() {
+	struct session s;
+	s.priv = 0;
+	gets(s.name);
+	if (s.priv != 0) {
+		printf("GRANTED\n");
+		return 99;
+	}
+	printf("normal\n");
+	return 0;
+}`
+
+const benignIn = "bob\n"
+
+// attackIn is 15 bytes + NUL: it exactly fills name[8]+priv without
+// leaving the struct, so no frame canary is ever crossed.
+const attackIn = "AAAAAAAAAAAAAAA\n"
+
+func runCase(t *testing.T, scheme core.Scheme, stdin string) *vm.Result {
+	t.Helper()
+	prog, err := core.Build("t", intraStructSrc, scheme)
+	if err != nil {
+		t.Fatalf("%v: %v", scheme, err)
+	}
+	res, err := prog.Run(stdin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIntraStructOverflowBendsVanilla(t *testing.T) {
+	res := runCase(t, core.SchemeVanilla, attackIn)
+	if res.Fault != nil || int64(res.Ret) != 99 {
+		t.Fatalf("ground truth: ret=%d fault=%v, want bent", int64(res.Ret), res.Fault)
+	}
+}
+
+func TestStandardPythiaMissesIntraStruct(t *testing.T) {
+	// The documented §6.4 limitation: the overflow never leaves the
+	// object, so no frame canary is crossed.
+	res := runCase(t, core.SchemePythia, attackIn)
+	if res.Fault != nil {
+		t.Skipf("standard Pythia detected it (%v) — layout change made the case inter-object", res.Fault)
+	}
+	if int64(res.Ret) != 99 {
+		t.Fatalf("expected the bend to succeed under standard Pythia, ret=%d", int64(res.Ret))
+	}
+}
+
+func TestFieldCanariesDetectIntraStruct(t *testing.T) {
+	benign := runCase(t, core.SchemeFields, benignIn)
+	if benign.Fault != nil {
+		t.Fatalf("benign false positive: %v", benign.Fault)
+	}
+	if int64(benign.Ret) != 0 {
+		t.Fatalf("benign ret=%d", int64(benign.Ret))
+	}
+	res := runCase(t, core.SchemeFields, attackIn)
+	if res.Fault == nil {
+		t.Fatalf("field canaries missed the intra-object overflow (ret=%d)", int64(res.Ret))
+	}
+	if res.Fault.Kind != vm.FaultCanary {
+		t.Fatalf("fault = %v, want canary", res.Fault)
+	}
+}
+
+func TestFieldCanaryLayoutRewrite(t *testing.T) {
+	mod, err := core.CompileC("t", intraStructSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Protect(mod, core.SchemeFields); err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Func("main")
+	var padded *ir.StructType
+	for _, a := range f.Allocas() {
+		if st, ok := a.AllocTy.(*ir.StructType); ok && a.GetMeta("fieldcanary") != "" {
+			padded = st
+		}
+	}
+	if padded == nil {
+		t.Fatal("struct alloca not rewritten")
+	}
+	// name[8] + __canary + priv.
+	if len(padded.Fields) != 3 {
+		t.Fatalf("padded struct has %d fields: %+v", len(padded.Fields), padded.Fields)
+	}
+	if padded.Fields[1].Name != "__canary0" || !padded.Fields[1].Type.Equal(ir.I64) {
+		t.Fatalf("canary field misplaced: %+v", padded.Fields)
+	}
+	if err := ir.Verify(mod); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldCanariesPreserveStructSemantics(t *testing.T) {
+	// Field accesses before/after the inserted canary must still hit the
+	// right storage.
+	src := `
+struct rec {
+	long a;
+	char buf[8];
+	long b;
+	long c;
+};
+int main() {
+	struct rec r;
+	r.a = 1; r.b = 2; r.c = 3;
+	strcpy(r.buf, "ok");
+	if (strcmp(r.buf, "ok") != 0) { return 90; }
+	return r.a * 100 + r.b * 10 + r.c;
+}`
+	for _, scheme := range []core.Scheme{core.SchemeVanilla, core.SchemeFields} {
+		prog, err := core.Build("t", src, scheme)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		res, err := prog.Run("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fault != nil {
+			t.Fatalf("%v: %v", scheme, res.Fault)
+		}
+		if int64(res.Ret) != 123 {
+			t.Fatalf("%v: ret=%d, want 123", scheme, int64(res.Ret))
+		}
+	}
+}

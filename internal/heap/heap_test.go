@@ -1,0 +1,247 @@
+package heap_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+func newArena() *heap.Arena {
+	return heap.NewArena("test", mem.SharedBase, mem.SharedBase+1<<20)
+}
+
+func TestAllocAlignmentAndDisjointness(t *testing.T) {
+	a := newArena()
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		type chunk struct{ addr, end uint64 }
+		var live []chunk
+		for _, s := range sizes {
+			sz := int64(s%4096) + 1
+			addr, err := a.Alloc(sz)
+			if err != nil {
+				return true // arena exhaustion is legal
+			}
+			if addr%16 != 0 {
+				return false // alignment
+			}
+			end := addr + uint64(a.SizeOf(addr))
+			for _, c := range live {
+				if addr < c.end && c.addr < end {
+					return false // overlap with a live chunk
+				}
+			}
+			live = append(live, chunk{addr, end})
+		}
+		for _, c := range live {
+			if err := a.Free(c.addr); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactFitBinReuse(t *testing.T) {
+	a := newArena()
+	p1, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate a spacer so p1 cannot coalesce back into the wilderness.
+	if _, err := a.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("freed chunk not reused: %#x vs %#x", p1, p2)
+	}
+	if a.Stats().BinHits == 0 {
+		t.Fatal("bin hit not recorded")
+	}
+}
+
+func TestSplitLargerChunk(t *testing.T) {
+	a := newArena()
+	big, _ := a.Alloc(512)
+	spacer, _ := a.Alloc(64)
+	if err := a.Free(big); err != nil {
+		t.Fatal(err)
+	}
+	small, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small != big {
+		t.Fatalf("small alloc should split the freed 512-chunk (got %#x, want %#x)", small, big)
+	}
+	if a.Stats().Splits == 0 {
+		t.Fatal("split not recorded")
+	}
+	_ = spacer
+}
+
+func TestCoalescing(t *testing.T) {
+	a := newArena()
+	p1, _ := a.Alloc(64)
+	p2, _ := a.Alloc(64)
+	p3, _ := a.Alloc(64)
+	if _, err := a.Alloc(64); err != nil { // spacer against wilderness merge
+		t.Fatal(err)
+	}
+	// Free the middle, then its neighbours: all three must merge into
+	// one chunk big enough for a 192-byte request at p1.
+	if err := a.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p3); err != nil {
+		t.Fatal(err)
+	}
+	big, err := a.Alloc(180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big != p1 {
+		t.Fatalf("coalesced chunk not reused: got %#x, want %#x", big, p1)
+	}
+	if a.Stats().Coalesces == 0 {
+		t.Fatal("coalesce not recorded")
+	}
+}
+
+func TestWildernessReclaim(t *testing.T) {
+	a := newArena()
+	p, _ := a.Alloc(128)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := a.Alloc(128)
+	if q != p {
+		t.Fatalf("chunk adjacent to top should return to the wilderness and be re-cut at the same address")
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a := newArena()
+	p, _ := a.Alloc(32)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Fatal("double free must error")
+	}
+	if err := a.Free(mem.SharedBase + 0x999); err == nil {
+		t.Fatal("free of unallocated address must error")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := heap.NewArena("tiny", mem.SharedBase, mem.SharedBase+256)
+	if _, err := a.Alloc(128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1024); err == nil {
+		t.Fatal("over-sized allocation must fail")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	a := newArena()
+	p1, _ := a.Alloc(100) // rounds to 112
+	p2, _ := a.Alloc(10)  // rounds to minChunk
+	st := a.Stats()
+	if st.Allocs != 2 || st.BytesInUse <= 0 || st.PeakInUse != st.BytesInUse {
+		t.Fatalf("stats after allocs: %+v", st)
+	}
+	peak := st.PeakInUse
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	st = a.Stats()
+	if st.BytesInUse != 0 || st.PeakInUse != peak || st.Frees != 2 {
+		t.Fatalf("stats after frees: %+v", st)
+	}
+}
+
+func TestSectionedRouting(t *testing.T) {
+	s := heap.NewSectioned(mem.SharedBase, mem.SharedLimit, mem.IsolatedBase, mem.IsolatedLim)
+	shared, err := s.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso, err := s.SecureMalloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mem.InShared(shared) {
+		t.Fatalf("malloc returned %#x outside the shared section", shared)
+	}
+	if !mem.InIsolated(iso) {
+		t.Fatalf("secure_malloc returned %#x outside the isolated section", iso)
+	}
+	if s.SizeOf(shared) <= 0 || s.SizeOf(iso) <= 0 {
+		t.Fatal("SizeOf must see both sections")
+	}
+	if err := s.Free(iso); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(shared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedAllocFreeChurn(t *testing.T) {
+	a := newArena()
+	rng := rand.New(rand.NewSource(99))
+	live := make(map[uint64]int64)
+	for i := 0; i < 5000; i++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			for addr := range live {
+				if err := a.Free(addr); err != nil {
+					t.Fatalf("churn free: %v", err)
+				}
+				delete(live, addr)
+				break
+			}
+			continue
+		}
+		sz := int64(rng.Intn(2000) + 1)
+		addr, err := a.Alloc(sz)
+		if err != nil {
+			t.Fatalf("churn alloc: %v", err)
+		}
+		if _, dup := live[addr]; dup {
+			t.Fatalf("allocator returned a live address %#x", addr)
+		}
+		live[addr] = sz
+	}
+	// Everything frees cleanly at the end.
+	for addr := range live {
+		if err := a.Free(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Stats().BytesInUse != 0 {
+		t.Fatalf("leak: %d bytes in use after full free", a.Stats().BytesInUse)
+	}
+}

@@ -1,0 +1,243 @@
+package irpass_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irpass"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	mod, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func run(t *testing.T, mod *ir.Module, stdin string) *vm.Result {
+	t.Helper()
+	m := vm.New(mod, vm.Config{Seed: 3})
+	m.Stdin.SetInput([]byte(stdin))
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	return res
+}
+
+// semantic-preservation corpus: programs whose behaviour must be
+// identical before and after optimization.
+var optCorpus = []struct {
+	name, src, stdin string
+}{
+	{"scalars", `
+int main() {
+	int a = 3; int b; int c;
+	b = a * 7;
+	if (b > 10) { c = b - a; } else { c = b + a; }
+	while (c < 100) { c = c * 2; }
+	return c;
+}`, ""},
+	{"arrays-survive", `
+int main() {
+	int arr[4];
+	for (int i = 0; i < 4; i++) { arr[i] = i + 10; }
+	int *p = &arr[2];
+	return *p + arr[0];
+}`, ""},
+	{"calls", `
+int twice(int v) { return v * 2; }
+int main() {
+	int x = twice(5);
+	int y = twice(x);
+	return x + y;
+}`, ""},
+	{"io", `
+int main() {
+	int k;
+	char buf[16];
+	scanf("%d", &k);
+	fgets(buf, 16);
+	printf("%d:%s\n", k + 1, buf);
+	return k;
+}`, "41\nworld\n"},
+	{"use-before-def", `
+int main() {
+	int x;
+	int c = 1;
+	if (c) { x = 7; }
+	return x;
+}`, ""},
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	for _, c := range optCorpus {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			plain := run(t, compile(t, c.src), c.stdin)
+			opt := compile(t, c.src)
+			irpass.Optimize(opt)
+			if err := ir.Verify(opt); err != nil {
+				t.Fatalf("optimized module invalid: %v", err)
+			}
+			res := run(t, opt, c.stdin)
+			if res.Ret != plain.Ret {
+				t.Fatalf("optimized ret %d != plain %d", int64(res.Ret), int64(plain.Ret))
+			}
+			if string(res.Stdout) != string(plain.Stdout) {
+				t.Fatalf("optimized stdout %q != plain %q", res.Stdout, plain.Stdout)
+			}
+		})
+	}
+}
+
+func TestMem2RegPromotesScalars(t *testing.T) {
+	mod := compile(t, `
+int main() {
+	int a = 1; int b = 2;
+	int arr[4];
+	arr[0] = a;
+	int *taken = &b;
+	return a + *taken + arr[0];
+}`)
+	f := mod.Func("main")
+	before := len(f.Allocas())
+	n := irpass.Mem2Reg(f)
+	after := len(f.Allocas())
+	if n == 0 {
+		t.Fatal("nothing promoted")
+	}
+	if before-after != n {
+		t.Fatalf("promoted %d but alloca count dropped by %d", n, before-after)
+	}
+	// `a` (never address-taken) must be gone; `arr` and `b` must remain.
+	for _, a := range f.Allocas() {
+		if a.GetMeta("var") == "a" {
+			t.Fatal("scalar `a` not promoted")
+		}
+	}
+	names := map[string]bool{}
+	for _, a := range f.Allocas() {
+		names[a.GetMeta("var")] = true
+	}
+	if !names["arr"] || !names["b"] {
+		t.Fatalf("aggregate or address-taken alloca wrongly promoted: %v", names)
+	}
+}
+
+func TestMem2RegInsertsPhis(t *testing.T) {
+	mod := compile(t, `
+int main() {
+	int x;
+	int c = 1;
+	if (c > 0) { x = 1; } else { x = 2; }
+	return x;
+}`)
+	f := mod.Func("main")
+	irpass.Mem2Reg(f)
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi && len(in.Incoming) == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("two-sided definition requires a phi after promotion")
+	}
+	if err := ir.Verify(mod); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	mod := ir.NewModule("t")
+	f := mod.NewFunc("main", ir.I64, nil, nil)
+	b := ir.NewBuilder(f, f.NewBlock("entry"))
+	sum := b.Bin(ir.OpAdd, ir.ConstInt(ir.I64, 2), ir.ConstInt(ir.I64, 3))
+	prod := b.Bin(ir.OpMul, sum, ir.ConstInt(ir.I64, 4))
+	cmp := b.ICmp(ir.PredEQ, prod, ir.ConstInt(ir.I64, 20))
+	ext := b.Cast(ir.OpZExt, cmp, ir.I64)
+	b.Ret(ext)
+	irpass.ConstFold(f)
+	irpass.DeadCodeElim(f)
+	// Everything folds to ret 1 eventually; at minimum the add is gone.
+	if n := f.NumInstrs(); n > 3 {
+		t.Fatalf("fold left %d instructions", n)
+	}
+	res := runModule(t, mod)
+	if res != 1 {
+		t.Fatalf("folded result %d, want 1", res)
+	}
+}
+
+func TestConstFoldGuardsDivZero(t *testing.T) {
+	mod := ir.NewModule("t")
+	f := mod.NewFunc("main", ir.I64, nil, nil)
+	b := ir.NewBuilder(f, f.NewBlock("entry"))
+	div := b.Bin(ir.OpSDiv, ir.ConstInt(ir.I64, 10), ir.ConstInt(ir.I64, 0))
+	b.Ret(div)
+	irpass.ConstFold(f) // must not panic or fold
+	if f.Entry().Instrs[0].Op != ir.OpSDiv {
+		t.Fatal("division by zero must not fold away")
+	}
+}
+
+func TestDCERemovesDeadPure(t *testing.T) {
+	mod := ir.NewModule("t")
+	f := mod.NewFunc("main", ir.I64, nil, nil)
+	b := ir.NewBuilder(f, f.NewBlock("entry"))
+	b.Bin(ir.OpAdd, ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 2)) // dead
+	keep := b.Bin(ir.OpMul, ir.ConstInt(ir.I64, 3), ir.ConstInt(ir.I64, 5))
+	b.Ret(keep)
+	removed := irpass.DeadCodeElim(f)
+	if removed != 1 {
+		t.Fatalf("removed %d, want 1", removed)
+	}
+	if f.NumInstrs() != 2 {
+		t.Fatalf("left %d instrs, want 2", f.NumInstrs())
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	mod := compile(t, `
+int main() {
+	char buf[8];
+	strcpy(buf, "hi");
+	return 0;
+}`)
+	f := mod.Func("main")
+	before := f.NumInstrs()
+	irpass.DeadCodeElim(f)
+	// The call (side effect) and the allocas must survive.
+	var hasCall bool
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				hasCall = true
+			}
+		}
+	}
+	if !hasCall {
+		t.Fatal("DCE removed a call with side effects")
+	}
+	_ = before
+}
+
+func runModule(t *testing.T, mod *ir.Module) int64 {
+	t.Helper()
+	m := vm.New(mod, vm.Config{Seed: 1})
+	res, err := m.Run("main")
+	if err != nil || res.Fault != nil {
+		t.Fatalf("run: %v / %v", err, res.Fault)
+	}
+	return int64(res.Ret)
+}

@@ -1,0 +1,220 @@
+// Package irpass holds generic (non-security) IR transformations: the
+// mem2reg SSA-promotion pass the paper runs before its analyses, plus
+// constant folding and dead-code elimination used by the -O pipeline.
+package irpass
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Mem2Reg promotes allocas whose address never escapes (used only by
+// direct loads and stores of the full scalar) to SSA registers, inserting
+// phis at dominance frontiers. It returns the number of allocas promoted.
+//
+// Address-taken variables — arrays, structs, anything passed to a call or
+// through a GEP — remain in memory, which is precisely the set the Pythia
+// passes instrument ("intrinsic functions for the remaining loads,
+// stores, and alloca instructions").
+func Mem2Reg(f *ir.Func) int {
+	if f.IsDecl() {
+		return 0
+	}
+	g := cfg.New(f)
+	promotable := collectPromotable(f)
+	if len(promotable) == 0 {
+		return 0
+	}
+	df := g.DominanceFrontiers()
+
+	// Phase 1: place phis at iterated dominance frontiers of defs.
+	phiFor := make(map[*ir.Instr]map[*ir.Block]*ir.Instr) // alloca -> block -> phi
+	for _, a := range promotable {
+		phiFor[a] = make(map[*ir.Block]*ir.Instr)
+		var work []*ir.Block
+		seen := make(map[*ir.Block]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStore && in.Args[1] == ir.Value(a) {
+					if !seen[b] {
+						seen[b] = true
+						work = append(work, b)
+					}
+				}
+			}
+		}
+		placed := make(map[*ir.Block]bool)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fr := range df[b] {
+				if placed[fr] {
+					continue
+				}
+				placed[fr] = true
+				phi := ir.NewInstr(ir.OpPhi, f.GenName("m2r"), a.AllocTy)
+				phi.SetMeta("var", a.GetMeta("var"))
+				phi.Block = fr
+				fr.Instrs = append([]*ir.Instr{phi}, fr.Instrs...)
+				phiFor[a][fr] = phi
+				if !seen[fr] {
+					seen[fr] = true
+					work = append(work, fr)
+				}
+			}
+		}
+	}
+
+	// Phase 2: rename along the dominator tree.
+	type state map[*ir.Instr]ir.Value // alloca -> current value
+	rename := renamer{f: f, g: g, phiFor: phiFor, promotable: promotableSet(promotable)}
+	rename.walk(f.Entry(), state{})
+
+	// Phase 3: delete the promoted allocas and their loads/stores.
+	removed := 0
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.OpAlloca && rename.promotable[in]:
+				removed++
+			case in.Op == ir.OpStore && isPromoted(rename.promotable, in.Args[1]):
+			case in.Op == ir.OpLoad && isPromoted(rename.promotable, in.Args[0]):
+			default:
+				kept = append(kept, in)
+			}
+		}
+		b.Instrs = append([]*ir.Instr(nil), kept...)
+	}
+	f.Renumber()
+	return removed
+}
+
+func isPromoted(set map[*ir.Instr]bool, v ir.Value) bool {
+	in, ok := v.(*ir.Instr)
+	return ok && set[in]
+}
+
+func promotableSet(list []*ir.Instr) map[*ir.Instr]bool {
+	m := make(map[*ir.Instr]bool, len(list))
+	for _, a := range list {
+		m[a] = true
+	}
+	return m
+}
+
+// collectPromotable returns allocas of scalar type used only as the
+// address operand of loads and full stores.
+func collectPromotable(f *ir.Func) []*ir.Instr {
+	escaped := make(map[*ir.Instr]bool)
+	var allocas []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca {
+				if ir.IsAggregate(in.AllocTy) {
+					escaped[in] = true // arrays/structs stay in memory
+				}
+				allocas = append(allocas, in)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, arg := range in.Args {
+				a, ok := arg.(*ir.Instr)
+				if !ok || a.Op != ir.OpAlloca {
+					continue
+				}
+				switch {
+				case in.Op == ir.OpLoad && i == 0:
+				case in.Op == ir.OpStore && i == 1:
+				default:
+					escaped[a] = true // address escapes (call arg, gep, stored value...)
+				}
+			}
+			for _, e := range in.Incoming {
+				if a, ok := e.Val.(*ir.Instr); ok && a.Op == ir.OpAlloca {
+					escaped[a] = true
+				}
+			}
+		}
+	}
+	var out []*ir.Instr
+	for _, a := range allocas {
+		if !escaped[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+type renamer struct {
+	f          *ir.Func
+	g          *cfg.Graph
+	phiFor     map[*ir.Instr]map[*ir.Block]*ir.Instr
+	promotable map[*ir.Instr]bool
+}
+
+// walk performs the standard SSA renaming over the dominator tree.
+func (r *renamer) walk(b *ir.Block, cur map[*ir.Instr]ir.Value) {
+	// Copy-on-write of the incoming state for this subtree.
+	local := make(map[*ir.Instr]ir.Value, len(cur))
+	for k, v := range cur {
+		local[k] = v
+	}
+	// Phis placed in this block define new current values.
+	for a, phis := range r.phiFor {
+		if phi, ok := phis[b]; ok {
+			local[a] = phi
+		}
+	}
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.OpLoad:
+			if a, ok := in.Args[0].(*ir.Instr); ok && r.promotable[a] {
+				val := local[a]
+				if val == nil {
+					val = ir.ConstInt(a.AllocTy, 0) // use before def: zero
+				}
+				replaceUses(r.f, in, val)
+			}
+		case ir.OpStore:
+			if a, ok := in.Args[1].(*ir.Instr); ok && r.promotable[a] {
+				local[a] = in.Args[0]
+			}
+		}
+	}
+	// Fill phi edges of successors.
+	for _, s := range b.Succs() {
+		for a, phis := range r.phiFor {
+			if phi, ok := phis[s]; ok {
+				val := local[a]
+				if val == nil {
+					val = ir.ConstInt(a.AllocTy, 0)
+				}
+				ir.AddIncoming(phi, val, b)
+			}
+		}
+	}
+	for _, child := range r.g.DomChildren[b] {
+		r.walk(child, local)
+	}
+}
+
+// replaceUses rewrites every use of old to new across the function.
+func replaceUses(f *ir.Func, old *ir.Instr, newV ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == ir.Value(old) {
+					in.Args[i] = newV
+				}
+			}
+			for i := range in.Incoming {
+				if in.Incoming[i].Val == ir.Value(old) {
+					in.Incoming[i].Val = newV
+				}
+			}
+		}
+	}
+}

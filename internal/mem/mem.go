@@ -1,0 +1,177 @@
+// Package mem implements the simulated 64-bit address space the VM and
+// heap allocator run on: sparse 4 KiB pages, named segments with
+// permissions, little-endian scalar access, and segmentation faults for
+// out-of-segment or poisoned addresses.
+//
+// Layout (canonical 40-bit space, upper 24 bits reserved for the PAC):
+//
+//	0x0000_1000  code        (function entry markers; not executed from)
+//	0x0001_0000  globals
+//	0x2000_0000  shared heap      (default malloc arena)
+//	0x3000_0000  isolated heap    (Pythia secure_malloc arena, §4.3)
+//	0x7f00_0000  stack (grows down from StackTop)
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pa"
+)
+
+// Segment boundaries of the simulated address space.
+const (
+	CodeBase     = uint64(0x0000_1000)
+	GlobalBase   = uint64(0x0001_0000)
+	GlobalLimit  = uint64(0x0100_0000)
+	SharedBase   = uint64(0x2000_0000)
+	SharedLimit  = uint64(0x2800_0000)
+	IsolatedBase = uint64(0x3000_0000)
+	IsolatedLim  = uint64(0x3800_0000)
+	StackLimit   = uint64(0x7000_0000) // lowest legal stack address
+	StackTop     = uint64(0x7f00_0000)
+)
+
+const pageSize = 4096
+
+// Fault is a memory access violation; the VM reports it as a crash of
+// the simulated program (the detection signal for most defenses).
+type Fault struct {
+	Addr uint64
+	Op   string // "load", "store"
+	Why  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: %s fault at %#x: %s", f.Op, f.Addr, f.Why)
+}
+
+// Memory is a sparse paged byte store.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+// Reset drops every page, returning the memory to its initial state.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*[pageSize]byte)
+}
+
+func (m *Memory) page(addr uint64) *[pageSize]byte {
+	base := addr &^ uint64(pageSize-1)
+	p, ok := m.pages[base]
+	if !ok {
+		p = new([pageSize]byte)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// check validates an access of size n at addr.
+func (m *Memory) check(addr uint64, n int, op string) error {
+	if pa.IsPoisoned(addr) {
+		return &Fault{Addr: addr, Op: op, Why: "poisoned pointer (failed authentication)"}
+	}
+	if addr&^pa.AddrMask != 0 {
+		return &Fault{Addr: addr, Op: op, Why: "non-canonical address (unstripped PAC?)"}
+	}
+	end := addr + uint64(n)
+	if end < addr {
+		return &Fault{Addr: addr, Op: op, Why: "address wraparound"}
+	}
+	switch {
+	case addr >= CodeBase && end <= GlobalBase:
+		if op == "store" {
+			return &Fault{Addr: addr, Op: op, Why: "write to code segment"}
+		}
+		return nil
+	case addr >= GlobalBase && end <= GlobalLimit:
+		return nil
+	case addr >= SharedBase && end <= SharedLimit:
+		return nil
+	case addr >= IsolatedBase && end <= IsolatedLim:
+		return nil
+	case addr >= StackLimit && end <= StackTop:
+		return nil
+	}
+	return &Fault{Addr: addr, Op: op, Why: "unmapped segment"}
+}
+
+// ReadBytes copies n bytes at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
+	if err := m.check(addr, n, "load"); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		a := addr + uint64(i)
+		p := m.page(a)
+		off := int(a % pageSize)
+		c := copy(out[i:], p[off:])
+		i += c
+	}
+	return out, nil
+}
+
+// WriteBytes stores b at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	if err := m.check(addr, len(b), "store"); err != nil {
+		return err
+	}
+	for i := 0; i < len(b); {
+		a := addr + uint64(i)
+		p := m.page(a)
+		off := int(a % pageSize)
+		c := copy(p[off:], b[i:])
+		i += c
+	}
+	return nil
+}
+
+// ReadUint reads an n-byte little-endian unsigned scalar (n ∈ 1,2,4,8).
+func (m *Memory) ReadUint(addr uint64, n int) (uint64, error) {
+	b, err := m.ReadBytes(addr, n)
+	if err != nil {
+		return 0, err
+	}
+	var buf [8]byte
+	copy(buf[:], b)
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// WriteUint stores an n-byte little-endian scalar.
+func (m *Memory) WriteUint(addr uint64, v uint64, n int) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return m.WriteBytes(addr, buf[:n])
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, bounded by
+// max bytes (a safety net for runaway simulated strings).
+func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b, err := m.ReadBytes(addr+uint64(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if b[0] == 0 {
+			return string(out), nil
+		}
+		out = append(out, b[0])
+	}
+	return string(out), nil
+}
+
+// InSegment helpers used by the allocator, attack engine, and reports.
+func InShared(addr uint64) bool   { return addr >= SharedBase && addr < SharedLimit }
+func InIsolated(addr uint64) bool { return addr >= IsolatedBase && addr < IsolatedLim }
+func InStack(addr uint64) bool    { return addr >= StackLimit && addr < StackTop }
+func InGlobal(addr uint64) bool   { return addr >= GlobalBase && addr < GlobalLimit }
+
+// Footprint returns the number of committed pages (a proxy for RSS).
+func (m *Memory) Footprint() int { return len(m.pages) }

@@ -1,0 +1,165 @@
+package mem_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/pa"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	m := mem.New()
+	f := func(off uint32, v uint64) bool {
+		addr := mem.SharedBase + uint64(off%1_000_000)
+		for _, n := range []int{1, 2, 4, 8} {
+			if err := m.WriteUint(addr, v, n); err != nil {
+				return false
+			}
+			got, err := m.ReadUint(addr, n)
+			if err != nil {
+				return false
+			}
+			mask := ^uint64(0)
+			if n < 8 {
+				mask = (1 << uint(8*n)) - 1
+			}
+			if got != v&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesAcrossPageBoundary(t *testing.T) {
+	m := mem.New()
+	data := bytes.Repeat([]byte{0xAB, 0xCD, 0xEF}, 3000) // spans >2 pages
+	addr := mem.GlobalBase + 4090                        // straddles a 4K boundary
+	if err := m.WriteBytes(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(addr, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip mismatch")
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := mem.New()
+	if err := m.WriteUint(mem.GlobalBase, 0x0102030405060708, 8); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ReadBytes(mem.GlobalBase, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("byte order %v, want %v", b, want)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	m := mem.New()
+	cases := []struct {
+		name string
+		addr uint64
+		op   func() error
+	}{
+		{"unmapped-low", 0x10, func() error { _, e := m.ReadBytes(0x10, 1); return e }},
+		{"unmapped-hole", 0x1000_0000, func() error { return m.WriteUint(0x1000_0000, 1, 8) }},
+		{"above-stack", mem.StackTop + 8, func() error { return m.WriteUint(mem.StackTop+8, 1, 8) }},
+		{"below-stack-limit", mem.StackLimit - 8, func() error { return m.WriteUint(mem.StackLimit-8, 1, 8) }},
+		{"code-write", mem.CodeBase, func() error { return m.WriteUint(mem.CodeBase, 1, 8) }},
+		{"poisoned", mem.SharedBase | pa.PoisonBit, func() error { _, e := m.ReadBytes(mem.SharedBase|pa.PoisonBit, 1); return e }},
+		{"non-canonical", mem.SharedBase | (1 << 45), func() error { _, e := m.ReadBytes(mem.SharedBase|(1<<45), 1); return e }},
+		{"wraparound", ^uint64(0) & pa.AddrMask, func() error { _, e := m.ReadBytes(^uint64(0)&pa.AddrMask, 16); return e }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.op()
+			if err == nil {
+				t.Fatalf("access at %#x should fault", tc.addr)
+			}
+			if _, ok := err.(*mem.Fault); !ok {
+				t.Fatalf("error type %T, want *mem.Fault", err)
+			}
+		})
+	}
+}
+
+func TestCodeIsReadable(t *testing.T) {
+	m := mem.New()
+	if _, err := m.ReadBytes(mem.CodeBase, 8); err != nil {
+		t.Fatalf("code reads should succeed: %v", err)
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	m := mem.New()
+	if err := m.WriteBytes(mem.GlobalBase, []byte("hello\x00world")); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.ReadCString(mem.GlobalBase, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "hello" {
+		t.Fatalf("cstring = %q", s)
+	}
+	// Unterminated within max: returns what it saw.
+	s, err = m.ReadCString(mem.GlobalBase, 3)
+	if err != nil || s != "hel" {
+		t.Fatalf("bounded cstring = %q, %v", s, err)
+	}
+}
+
+func TestSegmentPredicates(t *testing.T) {
+	if !mem.InShared(mem.SharedBase) || mem.InShared(mem.IsolatedBase) {
+		t.Fatal("InShared misclassifies")
+	}
+	if !mem.InIsolated(mem.IsolatedBase) || mem.InIsolated(mem.SharedBase) {
+		t.Fatal("InIsolated misclassifies")
+	}
+	if !mem.InStack(mem.StackTop-8) || mem.InStack(mem.StackTop) {
+		t.Fatal("InStack misclassifies")
+	}
+	if !mem.InGlobal(mem.GlobalBase) || mem.InGlobal(mem.CodeBase) {
+		t.Fatal("InGlobal misclassifies")
+	}
+}
+
+func TestIsolationDistance(t *testing.T) {
+	// The heap sectioning guarantee: a linear overflow from anywhere in
+	// the shared segment can never reach the isolated segment without
+	// first leaving the mapped shared range (and faulting).
+	if mem.SharedLimit > mem.IsolatedBase {
+		t.Fatal("shared heap overlaps the isolated section")
+	}
+}
+
+func TestResetAndFootprint(t *testing.T) {
+	m := mem.New()
+	if err := m.WriteUint(mem.GlobalBase, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if m.Footprint() == 0 {
+		t.Fatal("footprint should count committed pages")
+	}
+	m.Reset()
+	if m.Footprint() != 0 {
+		t.Fatal("reset should drop pages")
+	}
+	v, err := m.ReadUint(mem.GlobalBase, 8)
+	if err != nil || v != 0 {
+		t.Fatal("fresh page should read zero")
+	}
+}

@@ -1,0 +1,255 @@
+package minic
+
+// The AST mirrors the C subset directly; every node keeps its source
+// position for diagnostics.
+
+// Pos is a source location.
+type Pos struct{ Line, Col int }
+
+// CType is the front-end view of a type before lowering to ir.Type.
+type CType struct {
+	Kind   CTypeKind
+	Elem   *CType // pointer/array element
+	Len    int64  // array length
+	Struct string // struct tag
+}
+
+// CTypeKind discriminates CType.
+type CTypeKind int
+
+// Front-end type kinds.
+const (
+	CInt CTypeKind = iota // 64-bit int (also long, size_t)
+	CChar
+	CVoid
+	CPtr
+	CArray
+	CStruct
+)
+
+// Common types.
+var (
+	TypeInt  = &CType{Kind: CInt}
+	TypeChar = &CType{Kind: CChar}
+	TypeVoid = &CType{Kind: CVoid}
+)
+
+// Ptr returns a pointer to t.
+func Ptr(t *CType) *CType { return &CType{Kind: CPtr, Elem: t} }
+
+func (t *CType) String() string {
+	switch t.Kind {
+	case CInt:
+		return "int"
+	case CChar:
+		return "char"
+	case CVoid:
+		return "void"
+	case CPtr:
+		return t.Elem.String() + "*"
+	case CArray:
+		return t.Elem.String() + "[]"
+	case CStruct:
+		return "struct " + t.Struct
+	default:
+		return "?"
+	}
+}
+
+// Expr is any expression node.
+type Expr interface{ exprPos() Pos }
+
+// Num is an integer or character literal.
+type Num struct {
+	Pos Pos
+	Val int64
+}
+
+// Str is a string literal.
+type Str struct {
+	Pos Pos
+	Val string
+}
+
+// Ident references a variable or function name.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is -x, !x, ~x, *x, &x.
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is x op y, including && and || (short-circuit).
+type Binary struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+// Assign is lhs op rhs where op ∈ {=, +=, -=, ...}.
+type Assign struct {
+	Pos Pos
+	Op  string
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is x++ / x-- / ++x / --x. Prefix evaluates to the updated
+// value, postfix to the original.
+type IncDec struct {
+	Pos    Pos
+	Op     string // "++" or "--"
+	X      Expr
+	Prefix bool
+}
+
+// Call invokes a named function.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// Index is x[i].
+type Index struct {
+	Pos Pos
+	X   Expr
+	Idx Expr
+}
+
+// Member is x.f or x->f (Arrow true).
+type Member struct {
+	Pos   Pos
+	X     Expr
+	Field string
+	Arrow bool
+}
+
+// Cond is c ? a : b.
+type Cond struct {
+	Pos     Pos
+	C, A, B Expr
+}
+
+// SizeofType is sizeof(type).
+type SizeofType struct {
+	Pos Pos
+	T   *CType
+}
+
+func (e *Num) exprPos() Pos        { return e.Pos }
+func (e *Str) exprPos() Pos        { return e.Pos }
+func (e *Ident) exprPos() Pos      { return e.Pos }
+func (e *Unary) exprPos() Pos      { return e.Pos }
+func (e *Binary) exprPos() Pos     { return e.Pos }
+func (e *Assign) exprPos() Pos     { return e.Pos }
+func (e *IncDec) exprPos() Pos     { return e.Pos }
+func (e *Call) exprPos() Pos       { return e.Pos }
+func (e *Index) exprPos() Pos      { return e.Pos }
+func (e *Member) exprPos() Pos     { return e.Pos }
+func (e *Cond) exprPos() Pos       { return e.Pos }
+func (e *SizeofType) exprPos() Pos { return e.Pos }
+
+// Stmt is any statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// DeclStmt declares (possibly several) local variables.
+type DeclStmt struct {
+	Pos   Pos
+	Decls []*VarDecl
+}
+
+// VarDecl is one declarator with optional initializer.
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Type *CType
+	Init Expr
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is while (cond) body; DoWhile marks do { } while.
+type WhileStmt struct {
+	Pos     Pos
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+}
+
+// ForStmt is for (init; cond; post) body.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // may be nil
+	Cond Expr // may be nil (infinite)
+	Post Stmt // may be nil
+	Body Stmt
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // may be nil
+}
+
+// BreakStmt / ContinueStmt.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+func (s *DeclStmt) stmtPos() Pos     { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos     { return s.Pos }
+func (s *IfStmt) stmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos    { return s.Pos }
+func (s *ForStmt) stmtPos() Pos      { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos   { return s.Pos }
+func (s *BreakStmt) stmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) stmtPos() Pos { return s.Pos }
+func (s *BlockStmt) stmtPos() Pos    { return s.Pos }
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    *CType
+	Params []*VarDecl
+	Body   *BlockStmt // nil for extern declarations
+}
+
+// StructDecl defines a struct tag.
+type StructDecl struct {
+	Pos    Pos
+	Name   string
+	Fields []*VarDecl
+}
+
+// Program is one translation unit.
+type Program struct {
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}

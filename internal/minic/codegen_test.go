@@ -1,0 +1,188 @@
+package minic_test
+
+import (
+	"testing"
+)
+
+// Additional code-generation coverage: edge cases of the C subset that
+// the corpus and workloads rely on implicitly.
+
+func TestCompoundAssignments(t *testing.T) {
+	res := run(t, `
+int main() {
+	int x = 100;
+	x += 10; x -= 5; x *= 2; x /= 3; x %= 50;
+	int y = 6;
+	y &= 12; y |= 1; y ^= 2; y <<= 2; y >>= 1;
+	return x * 100 + y;
+}`, "")
+	x := int64(100)
+	x += 10
+	x -= 5
+	x *= 2
+	x /= 3
+	x %= 50
+	y := int64(6)
+	y &= 12
+	y |= 1
+	y ^= 2
+	y <<= 2
+	y >>= 1
+	if got, want := int64(res.Ret), x*100+y; got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+
+func TestTwoDimensionalArrays(t *testing.T) {
+	res := run(t, `
+int main() {
+	int grid[3][4];
+	for (int i = 0; i < 3; i++) {
+		for (int j = 0; j < 4; j++) {
+			grid[i][j] = i * 10 + j;
+		}
+	}
+	return grid[2][3] + grid[0][1] + grid[1][0];
+}`, "")
+	if got := int64(res.Ret); got != 23+1+10 {
+		t.Fatalf("got %d, want 34", got)
+	}
+}
+
+func TestTernaryExpression(t *testing.T) {
+	res := run(t, `
+int main() {
+	int a = 7;
+	int big = a > 5 ? 100 : 200;
+	int small = a > 10 ? 100 : 200;
+	return big + small;
+}`, "")
+	if got := int64(res.Ret); got != 300 {
+		t.Fatalf("got %d, want 300", got)
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	res := run(t, `
+struct pair { long a; long b; };
+int main() {
+	return sizeof(int) + sizeof(char) + sizeof(char *) + sizeof(struct pair);
+}`, "")
+	if got := int64(res.Ret); got != 8+1+8+16 {
+		t.Fatalf("got %d, want 33", got)
+	}
+}
+
+func TestGlobalArraysAndStrings(t *testing.T) {
+	res := run(t, `
+long table[4];
+int main() {
+	for (int i = 0; i < 4; i++) { table[i] = i * i; }
+	char *msg = "static";
+	return table[3] + strlen(msg);
+}`, "")
+	if got := int64(res.Ret); got != 9+6 {
+		t.Fatalf("got %d, want 15", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	res := run(t, `
+int main() {
+	int sum = 0;
+	for (int i = 0; i < 100; i++) {
+		if (i % 2 == 0) { continue; }
+		if (i > 10) { break; }
+		sum += i;   /* 1+3+5+7+9 */
+	}
+	int w = 0;
+	while (1) {
+		w++;
+		if (w >= 4) { break; }
+	}
+	return sum * 10 + w;
+}`, "")
+	if got := int64(res.Ret); got != 25*10+4 {
+		t.Fatalf("got %d, want 254", got)
+	}
+}
+
+func TestNegativeDivisionTruncation(t *testing.T) {
+	// C semantics: division truncates toward zero.
+	res := run(t, `
+int main() {
+	int a = -7 / 2;     /* -3 */
+	int b = -7 % 2;     /* -1 */
+	int c = 7 / -2;     /* -3 */
+	return a * 100 + b * 10 + c;
+}`, "")
+	if got := int64(res.Ret); got != -3*100+-1*10+-3 {
+		t.Fatalf("got %d, want %d", got, -313)
+	}
+}
+
+func TestStructPointerChains(t *testing.T) {
+	res := run(t, `
+struct node { long val; struct node *next; };
+int main() {
+	struct node a; struct node b; struct node c;
+	a.val = 1; b.val = 2; c.val = 3;
+	a.next = &b; b.next = &c; c.next = NULL;
+	long sum = 0;
+	struct node *p = &a;
+	while (p != NULL) {
+		sum += p->val;
+		p = p->next;
+	}
+	return sum;
+}`, "")
+	if got := int64(res.Ret); got != 6 {
+		t.Fatalf("linked list sum = %d, want 6", got)
+	}
+}
+
+func TestVoidFunctions(t *testing.T) {
+	res := run(t, `
+long counter;
+void bump() { counter++; }
+void bump_by(long n) { counter += n; }
+int main() {
+	counter = 0;
+	bump(); bump(); bump_by(10);
+	return counter;
+}`, "")
+	if got := int64(res.Ret); got != 12 {
+		t.Fatalf("got %d, want 12", got)
+	}
+}
+
+func TestCharPointerWalk(t *testing.T) {
+	res := run(t, `
+int main() {
+	char s[16];
+	strcpy(s, "walker");
+	char *q = s;
+	long n = 0;
+	while (*q) { n++; q++; }
+	return n;
+}`, "")
+	if got := int64(res.Ret); got != 6 {
+		t.Fatalf("got %d, want 6", got)
+	}
+}
+
+func TestCastsAreValuePreserving(t *testing.T) {
+	res := run(t, `
+int main() {
+	char c = 'A';
+	int widened = (int)c;
+	char *p = (char *)malloc(8);
+	p[0] = (char)(widened + 1);
+	long out = (long)p[0];
+	free(p);
+	return out;
+}`, "")
+	if got := int64(res.Ret); got != 'B' {
+		t.Fatalf("got %d, want %d", got, 'B')
+	}
+}

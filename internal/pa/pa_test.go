@@ -1,0 +1,162 @@
+package pa_test
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pa"
+)
+
+func TestSignAuthRoundTrip(t *testing.T) {
+	keys := pa.NewKeySet(1)
+	f := func(ptr, mod uint64) bool {
+		ptr &= pa.AddrMask
+		signed := pa.Sign(ptr, mod, keys.APDA)
+		out, ok := pa.Auth(signed, mod, keys.APDA)
+		return ok && out == ptr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthRejectsWrongModifier(t *testing.T) {
+	keys := pa.NewKeySet(2)
+	f := func(ptr, mod uint64) bool {
+		ptr &= pa.AddrMask
+		signed := pa.Sign(ptr, mod, keys.APDA)
+		out, ok := pa.Auth(signed, mod^1, keys.APDA)
+		// A 24-bit PAC collides with probability 2^-24; treat any
+		// observed collision in the quick sample as failure since the
+		// default sample is far too small to hit one.
+		return !ok && pa.IsPoisoned(out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthRejectsWrongKey(t *testing.T) {
+	k1, k2 := pa.NewKeySet(3), pa.NewKeySet(4)
+	signed := pa.Sign(0x7eff_1000, 42, k1.APDA)
+	if _, ok := pa.Auth(signed, 42, k2.APDA); ok {
+		t.Fatal("authentication with a different key must fail")
+	}
+}
+
+func TestAuthRejectsTamperedPointer(t *testing.T) {
+	keys := pa.NewKeySet(5)
+	f := func(ptr, mod uint64, flip uint8) bool {
+		ptr &= pa.AddrMask
+		signed := pa.Sign(ptr, mod, keys.APDA)
+		// Flip one address bit (not a PAC bit): the recomputed PAC must
+		// mismatch with overwhelming probability.
+		tampered := signed ^ (1 << (uint(flip) % pa.PACShift))
+		if tampered == signed {
+			return true
+		}
+		_, ok := pa.Auth(tampered, mod, keys.APDA)
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignIsIdempotentForCanonicalValues(t *testing.T) {
+	keys := pa.NewKeySet(6)
+	f := func(ptr, mod uint64) bool {
+		ptr &= pa.AddrMask
+		once := pa.Sign(ptr, mod, keys.APDA)
+		twice := pa.Sign(once, mod, keys.APDA)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrip(t *testing.T) {
+	keys := pa.NewKeySet(7)
+	ptr := uint64(0x2000_1234)
+	signed := pa.Sign(ptr, 9, keys.APDA)
+	if signed == ptr {
+		t.Fatal("signing should set PAC bits for this pointer")
+	}
+	if got := pa.Strip(signed); got != ptr {
+		t.Fatalf("Strip = %#x, want %#x", got, ptr)
+	}
+}
+
+func TestPACFieldLayout(t *testing.T) {
+	if pa.PACBits != 24 {
+		t.Fatalf("PACBits = %d, want 24 (the paper's Linux configuration)", pa.PACBits)
+	}
+	if pa.PACShift != 40 {
+		t.Fatalf("PACShift = %d, want 40", pa.PACShift)
+	}
+	if pa.PACMask&pa.AddrMask != 0 {
+		t.Fatal("PAC field and address field overlap")
+	}
+	if bits.OnesCount64(pa.PACMask) != pa.PACBits {
+		t.Fatal("PACMask width mismatch")
+	}
+}
+
+func TestModifierSensitivity(t *testing.T) {
+	keys := pa.NewKeySet(8)
+	ptr := uint64(0x7eff_0000)
+	seen := make(map[uint64]bool)
+	for mod := uint64(0); mod < 64; mod++ {
+		seen[pa.ComputePAC(ptr, mod, keys.APDA)] = true
+	}
+	// 64 modifiers over a 24-bit PAC should essentially never collide.
+	if len(seen) < 60 {
+		t.Fatalf("only %d distinct PACs over 64 modifiers — cipher is not diffusing", len(seen))
+	}
+}
+
+func TestGenericMACAvalanche(t *testing.T) {
+	keys := pa.NewKeySet(9)
+	base := pa.GenericMAC(0x1234_5678_9abc_def0, 7, keys.APGA)
+	totalFlips := 0
+	for bit := 0; bit < 64; bit++ {
+		m := pa.GenericMAC(0x1234_5678_9abc_def0^(1<<uint(bit)), 7, keys.APGA)
+		totalFlips += bits.OnesCount64(base ^ m)
+	}
+	avg := float64(totalFlips) / 64
+	// A good keyed permutation flips ~32 of 64 output bits per input bit.
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average %.1f bits, want ≈32", avg)
+	}
+}
+
+func TestKeySetsAreIndependent(t *testing.T) {
+	k := pa.NewKeySet(10)
+	if k.APDA == k.APIA || k.APDA == k.APGA || k.APIA == k.APGA {
+		t.Fatal("key registers must be pairwise distinct")
+	}
+	if pa.NewKeySet(10).APDA != k.APDA {
+		t.Fatal("key derivation must be deterministic per seed")
+	}
+	if pa.NewKeySet(11).APDA == k.APDA {
+		t.Fatal("different seeds must give different keys")
+	}
+}
+
+func TestPoisonedPointerDetection(t *testing.T) {
+	if pa.IsPoisoned(0x2000_0000) {
+		t.Fatal("canonical pointer flagged poisoned")
+	}
+	if !pa.IsPoisoned(0x2000_0000 | pa.PoisonBit) {
+		t.Fatal("poisoned pointer not flagged")
+	}
+}
+
+func TestAuthErrorMessage(t *testing.T) {
+	err := &pa.AuthError{Ptr: 0xdead, Modifier: 0xbeef}
+	if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}

@@ -1,0 +1,267 @@
+// Package perf models the performance of the simulated machine: dynamic
+// instruction counts, a calibrated cycle model for a wide out-of-order
+// core (the paper evaluates on an Apple M1 Pro), a set-associative
+// last-level cache for miss statistics, and binary-size accounting.
+//
+// The paper's results are ratios (instrumented vs. vanilla); this model
+// produces deterministic cycle counts whose ratios reproduce those
+// shapes. Absolute time is out of scope.
+package perf
+
+import "repro/internal/ir"
+
+// Model holds the cost parameters. Defaults approximate an M1-class
+// core at 3.2 GHz. A hardening "instruction" in the IR stands for the
+// short machine sequence the backend emits (compute PAC, load/compare,
+// conditional trap, possible spill), so each charges several retired
+// instructions plus a small serialization stall — this is what keeps the
+// measured IPC degradation small (Fig. 5a) even when cycle overhead is
+// large: the instrumented binary mostly retires *more* instructions at
+// nearly the same rate.
+type Model struct {
+	RetireWidth    float64 // instructions retired per cycle at best
+	LoadExtra      float64 // pipelined L1 hit cost beyond issue
+	LLCMissPenalty float64 // cycles per LLC miss
+	BranchPenalty  float64 // average misprediction cost per branch
+	CallOverhead   float64 // prologue/epilogue + link cost
+
+	PAExpand      float64 // retired instructions per PA sequence
+	PACExtra      float64 // serialized stall beyond the sequence's issue cost
+	CanaryExpand  float64 // instructions in a canary refresh (incl. RNG call)
+	CanaryRNGCost float64 // extra cycles for the RNG library call (§5)
+	DFISetExpand  float64 // instructions per SETDEF
+	DFIChkExpand  float64 // instructions per CHKDEF
+	DFIExtra      float64 // table-access stall per DFI op
+
+	SecureMallocNS  float64 // extra latency of heap sectioning, ns (§6.1: ~23 ns)
+	HeapSectionInit float64 // one-time sectioning setup, ns (§6.2: ~126 ns)
+	ClockGHz        float64
+}
+
+// DefaultModel returns the calibrated cost set used by all experiments.
+func DefaultModel() *Model {
+	return &Model{
+		RetireWidth:    4.0,
+		LoadExtra:      0.25,
+		LLCMissPenalty: 90,
+		BranchPenalty:  0.55,
+		CallOverhead:   2.0,
+
+		PAExpand:      6,
+		PACExtra:      0.6,
+		CanaryExpand:  60,
+		CanaryRNGCost: 14,
+		DFISetExpand:  3,
+		DFIChkExpand:  6,
+		DFIExtra:      0.9,
+
+		SecureMallocNS:  23,
+		HeapSectionInit: 126,
+		ClockGHz:        3.2,
+	}
+}
+
+// NSToCycles converts nanoseconds to cycles under the model clock.
+func (m *Model) NSToCycles(ns float64) float64 { return ns * m.ClockGHz }
+
+// Counters accumulates one run's dynamic statistics.
+type Counters struct {
+	Instrs      int64 // all retired instructions
+	PAInstrs    int64 // dynamic pac.sign/pac.auth/pac.strip
+	CanaryOps   int64
+	DFIOps      int64
+	Loads       int64
+	Stores      int64
+	Branches    int64
+	Calls       int64
+	LLCAccesses int64
+	LLCMisses   int64
+	Cycles      float64
+}
+
+// IPC returns retired instructions per cycle.
+func (c *Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instrs) / c.Cycles
+}
+
+// Meter charges instruction costs against a Counters under a Model.
+type Meter struct {
+	M     *Model
+	C     *Counters
+	Cache *Cache
+}
+
+// NewMeter returns a meter with a fresh cache and counters.
+func NewMeter(m *Model) *Meter {
+	return &Meter{M: m, C: &Counters{}, Cache: NewCache(512, 8, 64)}
+}
+
+// OnInstr charges one retired instruction (or, for hardening ops, the
+// machine sequence it expands to) of the given opcode.
+func (t *Meter) OnInstr(op ir.Op) {
+	switch {
+	case op == ir.OpCanarySet:
+		// Canary refresh = RNG library call + pacga + store (§5:
+		// "populated with C++ random number generator with a library
+		// call at each invocation").
+		t.C.CanaryOps++
+		t.C.PAInstrs++
+		t.C.Instrs += int64(t.M.CanaryExpand)
+		t.C.Cycles += t.M.CanaryExpand/t.M.RetireWidth + t.M.CanaryRNGCost
+	case op == ir.OpCanaryCheck:
+		t.C.CanaryOps++
+		t.C.PAInstrs++
+		t.C.Instrs += int64(t.M.PAExpand)
+		t.C.Cycles += t.M.PAExpand/t.M.RetireWidth + t.M.PACExtra
+	case op.IsPA():
+		t.C.PAInstrs++
+		t.C.Instrs += int64(t.M.PAExpand)
+		t.C.Cycles += t.M.PAExpand/t.M.RetireWidth + t.M.PACExtra
+	case op == ir.OpSetDef:
+		t.C.DFIOps++
+		t.C.Instrs += int64(t.M.DFISetExpand)
+		t.C.Cycles += t.M.DFISetExpand/t.M.RetireWidth + t.M.DFIExtra
+	case op == ir.OpChkDef:
+		t.C.DFIOps++
+		t.C.Instrs += int64(t.M.DFIChkExpand)
+		t.C.Cycles += t.M.DFIChkExpand/t.M.RetireWidth + t.M.DFIExtra
+	case op == ir.OpCondBr || op == ir.OpBr:
+		t.C.Instrs++
+		t.C.Cycles += 1 / t.M.RetireWidth
+		t.C.Branches++
+		if op == ir.OpCondBr {
+			t.C.Cycles += t.M.BranchPenalty
+		}
+	case op == ir.OpCall:
+		t.C.Instrs++
+		t.C.Cycles += 1/t.M.RetireWidth + t.M.CallOverhead
+		t.C.Calls++
+	default:
+		t.C.Instrs++
+		t.C.Cycles += 1 / t.M.RetireWidth
+	}
+}
+
+// OnLoad charges a memory read at addr.
+func (t *Meter) OnLoad(addr uint64) {
+	t.C.Loads++
+	t.C.LLCAccesses++
+	t.C.Cycles += t.M.LoadExtra
+	if !t.Cache.Access(addr) {
+		t.C.LLCMisses++
+		t.C.Cycles += t.M.LLCMissPenalty
+	}
+}
+
+// OnStore charges a memory write at addr.
+func (t *Meter) OnStore(addr uint64) {
+	t.C.Stores++
+	t.C.LLCAccesses++
+	if !t.Cache.Access(addr) {
+		t.C.LLCMisses++
+		t.C.Cycles += t.M.LLCMissPenalty / 2 // store misses partially hidden
+	}
+}
+
+// OnSecureMalloc charges the extra sectioned-allocation latency.
+func (t *Meter) OnSecureMalloc() { t.C.Cycles += t.M.NSToCycles(t.M.SecureMallocNS) }
+
+// OnHeapSectionInit charges the one-time arena sectioning setup that even
+// benchmarks with no vulnerable heap variables pay (§6.2, lbm/mcf).
+func (t *Meter) OnHeapSectionInit() { t.C.Cycles += t.M.NSToCycles(t.M.HeapSectionInit) }
+
+// Cache is a set-associative write-allocate cache with LRU replacement,
+// used only to produce miss statistics for the evaluation discussion.
+type Cache struct {
+	sets     int
+	ways     int
+	lineBits uint
+	tags     [][]uint64
+	age      [][]int64
+	clock    int64
+}
+
+// NewCache returns a cache with the given geometry; lineSize is in bytes.
+func NewCache(sets, ways, lineSize int) *Cache {
+	bits := uint(0)
+	for 1<<bits < lineSize {
+		bits++
+	}
+	c := &Cache{sets: sets, ways: ways, lineBits: bits}
+	c.tags = make([][]uint64, sets)
+	c.age = make([][]int64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.age[i] = make([]int64, ways)
+		for j := range c.tags[i] {
+			c.tags[i][j] = ^uint64(0)
+		}
+	}
+	return c
+}
+
+// Access touches addr and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	line := addr >> c.lineBits
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	oldest, oldestAge := 0, c.clock+1
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == tag {
+			c.age[set][w] = c.clock
+			return true
+		}
+		if c.age[set][w] < oldestAge {
+			oldestAge = c.age[set][w]
+			oldest = w
+		}
+	}
+	c.tags[set][oldest] = tag
+	c.age[set][oldest] = c.clock
+	return false
+}
+
+// BinarySize estimates the code size of a module in bytes: 4 bytes per
+// static machine instruction (fixed-width AArch64 encoding) plus a
+// 16-byte prologue per defined function, with hardening IR ops weighted
+// by the machine sequences they expand to. This is the Fig. 4(b) metric.
+func BinarySize(m *ir.Module) int64 {
+	var n int64
+	for _, f := range m.Defined() {
+		n += 16
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				n += 4 * instrWeight(in.Op)
+			}
+		}
+	}
+	return n
+}
+
+func instrWeight(op ir.Op) int64 {
+	switch {
+	case op == ir.OpCanarySet:
+		return 5
+	case op == ir.OpCanaryCheck:
+		return 3
+	case op.IsPA():
+		return 3
+	case op == ir.OpSetDef:
+		return 2
+	case op == ir.OpChkDef:
+		return 3
+	}
+	return 1
+}
+
+// Overhead returns (instrumented/base - 1) as a percentage.
+func Overhead(base, instrumented float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (instrumented/base - 1) * 100
+}

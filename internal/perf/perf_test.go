@@ -1,0 +1,157 @@
+package perf_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/perf"
+)
+
+func TestMeterChargesPlainInstr(t *testing.T) {
+	m := perf.NewMeter(perf.DefaultModel())
+	m.OnInstr(ir.OpAdd)
+	if m.C.Instrs != 1 {
+		t.Fatalf("instrs = %d", m.C.Instrs)
+	}
+	if m.C.Cycles <= 0 || m.C.Cycles >= 1 {
+		t.Fatalf("one plain op should cost a fraction of a cycle on a wide core, got %v", m.C.Cycles)
+	}
+}
+
+func TestMeterPAExpansion(t *testing.T) {
+	mdl := perf.DefaultModel()
+	m := perf.NewMeter(mdl)
+	m.OnInstr(ir.OpCheckLoad)
+	if m.C.PAInstrs != 1 {
+		t.Fatalf("PA count = %d", m.C.PAInstrs)
+	}
+	if m.C.Instrs != int64(mdl.PAExpand) {
+		t.Fatalf("PA op must expand to %v retired instructions, got %d", mdl.PAExpand, m.C.Instrs)
+	}
+	// IPC of PA-dominated code must stay near the core's width — the
+	// Fig. 5(a) property that overhead is mostly extra instructions.
+	ipc := m.C.IPC()
+	if ipc < mdl.RetireWidth*0.5 {
+		t.Fatalf("PA IPC collapsed to %.2f", ipc)
+	}
+}
+
+func TestMeterCanaryAndDFI(t *testing.T) {
+	m := perf.NewMeter(perf.DefaultModel())
+	m.OnInstr(ir.OpCanarySet)
+	m.OnInstr(ir.OpCanaryCheck)
+	if m.C.CanaryOps != 2 || m.C.PAInstrs != 2 {
+		t.Fatalf("canary counters: %+v", m.C)
+	}
+	m.OnInstr(ir.OpSetDef)
+	m.OnInstr(ir.OpChkDef)
+	if m.C.DFIOps != 2 {
+		t.Fatalf("dfi counters: %+v", m.C)
+	}
+}
+
+func TestBranchAndCallCosts(t *testing.T) {
+	m := perf.NewMeter(perf.DefaultModel())
+	m.OnInstr(ir.OpCondBr)
+	m.OnInstr(ir.OpBr)
+	m.OnInstr(ir.OpCall)
+	if m.C.Branches != 2 || m.C.Calls != 1 {
+		t.Fatalf("%+v", m.C)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := perf.NewCache(4, 2, 64)
+	if c.Access(0x1000) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0x1000) || !c.Access(0x1008) {
+		t.Fatal("same line must hit")
+	}
+	if c.Access(0x2000) {
+		t.Fatal("different line must miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := perf.NewCache(1, 2, 64) // one set, two ways
+	c.Access(0x0000)             // A
+	c.Access(0x1000)             // B
+	c.Access(0x0000)             // A again (B is LRU now)
+	c.Access(0x2000)             // C evicts B
+	if !c.Access(0x0000) {
+		t.Fatal("A must still be resident")
+	}
+	if c.Access(0x1000) {
+		t.Fatal("B must have been evicted (LRU)")
+	}
+}
+
+func TestMeterLoadMissPenalty(t *testing.T) {
+	m := perf.NewMeter(perf.DefaultModel())
+	m.OnLoad(0x1000)
+	if m.C.LLCMisses != 1 {
+		t.Fatal("cold load must miss")
+	}
+	cold := m.C.Cycles
+	m.OnLoad(0x1000)
+	warm := m.C.Cycles - cold
+	if warm >= cold {
+		t.Fatalf("warm load (%.2f) must be far cheaper than cold (%.2f)", warm, cold)
+	}
+}
+
+func TestBinarySizeWeighting(t *testing.T) {
+	mod := ir.NewModule("t")
+	f := mod.NewFunc("main", ir.I64, nil, nil)
+	b := ir.NewBuilder(f, f.NewBlock("entry"))
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	plain := perf.BinarySize(mod)
+	if plain != 16+4 { // prologue + 1 instr
+		t.Fatalf("plain size = %d", plain)
+	}
+	chk := ir.NewInstr(ir.OpCheckLoad, f.GenName("c"), ir.I64, ir.ConstInt(ir.I64, 0))
+	f.Entry().InsertBefore(chk, f.Entry().Instrs[0])
+	if got := perf.BinarySize(mod); got <= plain+4 {
+		t.Fatalf("hardening op must weigh more than one instruction: %d vs %d", got, plain)
+	}
+	// Declarations contribute nothing.
+	mod.NewFunc("ext", ir.Void, nil, nil).Sig.Variadic = false
+}
+
+func TestOverheadHelper(t *testing.T) {
+	if perf.Overhead(100, 148) != 48 {
+		t.Fatalf("overhead = %v", perf.Overhead(100, 148))
+	}
+	if perf.Overhead(0, 5) != 0 {
+		t.Fatal("zero base must not divide by zero")
+	}
+}
+
+func TestNSToCycles(t *testing.T) {
+	m := perf.DefaultModel()
+	if got := m.NSToCycles(23); got != 23*m.ClockGHz {
+		t.Fatalf("NSToCycles = %v", got)
+	}
+}
+
+func TestSecureMallocAndSectionInitCosts(t *testing.T) {
+	mdl := perf.DefaultModel()
+	m := perf.NewMeter(mdl)
+	m.OnSecureMalloc()
+	want := mdl.NSToCycles(mdl.SecureMallocNS)
+	if m.C.Cycles != want {
+		t.Fatalf("secure malloc cost %v, want %v", m.C.Cycles, want)
+	}
+	m.OnHeapSectionInit()
+	if m.C.Cycles != want+mdl.NSToCycles(mdl.HeapSectionInit) {
+		t.Fatal("section init cost missing")
+	}
+}
+
+func TestIPCZeroCycles(t *testing.T) {
+	c := &perf.Counters{}
+	if c.IPC() != 0 {
+		t.Fatal("IPC of an empty run must be 0, not NaN")
+	}
+}

@@ -1,0 +1,72 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func sample() *report.Table {
+	t := &report.Table{
+		ID:      "fig0",
+		Title:   "sample",
+		Columns: []string{"benchmark", "value"},
+	}
+	t.AddRow("lbm", 13.071)
+	t.AddRow("gcc", 69)
+	t.AddNote("average: %.1f", 41.0)
+	return t
+}
+
+func TestASCIIRendering(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"== fig0: sample", "benchmark", "lbm", "13.07", "gcc", "69", "average: 41.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ascii output missing %q:\n%s", want, s)
+		}
+	}
+	// Column alignment: the header and rows share the first column width.
+	lines := strings.Split(s, "\n")
+	var hdr, row string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "benchmark") {
+			hdr = ln
+		}
+		if strings.HasPrefix(ln, "lbm") {
+			row = ln
+		}
+	}
+	if strings.Index(hdr, "value") != strings.Index(row, "13.07") {
+		t.Error("columns misaligned")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	s := sample().Markdown()
+	for _, want := range []string{"### fig0: sample", "| benchmark | value |", "| --- | --- |", "| lbm | 13.07 |", "> average"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("markdown missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	s := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if lines[0] != "benchmark,value" || lines[1] != "lbm,13.07" {
+		t.Fatalf("csv content: %v", lines)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if report.Pct(13.071) != "13.07%" {
+		t.Fatal(report.Pct(13.071))
+	}
+	if report.Ratio(4.5) != "4.50x" {
+		t.Fatal(report.Ratio(4.5))
+	}
+}

@@ -1,0 +1,154 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/pa"
+)
+
+// frame is one activation record of the interpreter.
+type frame struct {
+	f    *ir.Func
+	args []uint64
+	regs map[*ir.Instr]uint64
+
+	base uint64 // frame base = lowest address of the frame
+	size int64
+	plan *ir.StackPlan
+}
+
+// DefaultPlan lays allocas out in declaration order from the frame base
+// upward — the layout an unhardened compiler would produce, and the one
+// buffer overflows traverse (writes move toward higher addresses, i.e.
+// toward later locals and then the caller's frame).
+func DefaultPlan(f *ir.Func) *ir.StackPlan {
+	p := &ir.StackPlan{}
+	var off int64
+	for _, a := range f.Allocas() {
+		sz := a.AllocTy.Size()
+		sz = (sz + 7) &^ 7
+		p.Slots = append(p.Slots, ir.StackSlot{
+			Alloca: a,
+			Offset: off,
+			Size:   sz,
+			Sealed: a.GetMeta("sealed") != "",
+			Canary: a.GetMeta("canary") != "",
+		})
+		off += sz
+	}
+	p.Size = off
+	return p
+}
+
+// newFrame pushes an activation record, laying out the frame per the
+// function's stack plan (or the default order when no plan is set).
+func (m *Machine) newFrame(f *ir.Func, args []uint64) *frame {
+	plan := f.Plan
+	if plan == nil {
+		plan = DefaultPlan(f)
+	}
+	size := plan.Size
+	if size == 0 {
+		size = 16
+	}
+	size = (size + 15) &^ 15
+	newSP := m.SP - uint64(size)
+	if newSP < mem.StackLimit {
+		panic(m.fault(FaultRuntime, f, nil, errors.New("stack exhausted")))
+	}
+	fr := &frame{
+		f:    f,
+		args: args,
+		regs: make(map[*ir.Instr]uint64, 16),
+		base: newSP,
+		size: size,
+		plan: plan,
+	}
+	m.SP = newSP
+
+	// Zero the frame (a fresh C frame is garbage; zeroing makes the
+	// simulation deterministic) and install canaries for canary slots.
+	zero := make([]byte, size)
+	if err := m.Mem.WriteBytes(fr.base, zero); err != nil {
+		panic(m.fault(FaultRuntime, f, nil, err))
+	}
+	// The DFI runtime definitions table tracks *current* memory: entries
+	// from a dead frame that happened to use these addresses are stale.
+	if len(m.dfiRDT) > 0 {
+		for a := fr.base; a < fr.base+uint64(size); a++ {
+			delete(m.dfiRDT, a)
+		}
+	}
+	for i := range plan.Slots {
+		s := &plan.Slots[i]
+		if s.Canary {
+			m.installCanary(fr, s)
+		}
+		if s.Sealed {
+			// Seal the zero value so a read-before-write authenticates.
+			slot := fr.base + uint64(s.Offset)
+			mac := pa.GenericMAC(0, slot, m.Keys.APGA)
+			if err := m.Mem.WriteUint(slot+8, mac, 8); err != nil {
+				panic(m.fault(FaultRuntime, f, nil, err))
+			}
+		}
+	}
+	return fr
+}
+
+// installCanary initializes one canary slot at frame entry ("the canary
+// values are re-randomized on every entry to the function", §4.4).
+func (m *Machine) installCanary(fr *frame, s *ir.StackSlot) {
+	slot := fr.base + uint64(s.Offset)
+	in := ir.NewInstr(ir.OpCanarySet, "", ir.Void, ir.ConstInt(ir.I64, int64(slot)))
+	m.Meter.OnInstr(ir.OpCanarySet)
+	m.canarySetAt(fr, in, slot)
+}
+
+// canaryNonceMask keeps the random nonce within the canonical address
+// bits so the PAC field is entirely the keyed MAC.
+const canaryNonceMask = pa.AddrMask
+
+func signCanary(m *Machine, nonce, slot uint64) uint64 {
+	return pa.Sign(nonce, slot, m.Keys.APGA)
+}
+
+func (m *Machine) canarySetAt(fr *frame, in *ir.Instr, slot uint64) {
+	nonce := m.rng.Uint64() & canaryNonceMask
+	signed := signCanary(m, nonce, slot)
+	m.Meter.OnStore(slot)
+	if err := m.Mem.WriteUint(slot, signed, 8); err != nil {
+		panic(m.fault(FaultSegv, fr.f, in, err))
+	}
+	m.canaryShadow[slot] = signed
+}
+
+func (m *Machine) popFrame(fr *frame) {
+	// Drop shadow entries belonging to this frame.
+	for i := range fr.plan.Slots {
+		s := &fr.plan.Slots[i]
+		if s.Canary {
+			delete(m.canaryShadow, fr.base+uint64(s.Offset))
+		}
+	}
+	// Object seals on this frame's slots die with the frame, so a later
+	// frame reusing the addresses starts unsealed.
+	end := fr.base + uint64(fr.size)
+	for addr := range m.objMAC {
+		if addr >= fr.base && addr < end {
+			delete(m.objMAC, addr)
+		}
+	}
+	m.SP = fr.base + uint64(fr.size)
+}
+
+// slotAddr returns the address of the slot backing alloca a.
+func (fr *frame) slotAddr(m *Machine, a *ir.Instr) uint64 {
+	if s := fr.plan.SlotFor(a); s != nil {
+		return fr.base + uint64(s.Offset)
+	}
+	panic(m.fault(FaultRuntime, fr.f, a, fmt.Errorf("alloca %%%s missing from stack plan", a.Nam)))
+}

@@ -1,0 +1,109 @@
+package vm_test
+
+import "testing"
+
+// libcCase runs one program and checks its return value.
+func libcCase(t *testing.T, src, stdin string, wantRet int64, wantOut string) {
+	t.Helper()
+	m := machine(t, src, stdin)
+	res := mustRun(t, m, "main")
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	if int64(res.Ret) != wantRet {
+		t.Fatalf("ret = %d, want %d (stdout %q)", int64(res.Ret), wantRet, res.Stdout)
+	}
+	if wantOut != "" && string(res.Stdout) != wantOut {
+		t.Fatalf("stdout = %q, want %q", res.Stdout, wantOut)
+	}
+}
+
+func TestReallocGrowPreservesData(t *testing.T) {
+	libcCase(t, `
+int main() {
+	char *p = malloc(8);
+	strcpy(p, "grow");
+	char *q = realloc(p, 4096);
+	if (strcmp(q, "grow") != 0) { return 1; }
+	q[4000] = 'x';
+	free(q);
+	return 0;
+}`, "", 0, "")
+}
+
+func TestReallocShrinkInPlace(t *testing.T) {
+	libcCase(t, `
+int main() {
+	char *p = malloc(64);
+	strcpy(p, "keep");
+	char *q = realloc(p, 8);
+	if (p != q) { return 1; }          /* shrink must stay in place */
+	if (strcmp(q, "keep") != 0) { return 2; }
+	free(q);
+	return 0;
+}`, "", 0, "")
+}
+
+func TestReallocNullActsAsMalloc(t *testing.T) {
+	libcCase(t, `
+int main() {
+	char *p = realloc(NULL, 16);
+	if (p == NULL) { return 1; }
+	strcpy(p, "fresh");
+	long n = strlen(p);
+	free(p);
+	return n;
+}`, "", 5, "")
+}
+
+func TestStrdup(t *testing.T) {
+	libcCase(t, `
+int main() {
+	char src[16];
+	fgets(src, 16);
+	char *d = strdup(src);
+	src[0] = 'X';                       /* the copy must be independent */
+	if (strcmp(d, "hello") != 0) { return 1; }
+	free(d);
+	return strlen(d);
+}`, "hello\n", 5, "")
+}
+
+func TestSnprintfBounds(t *testing.T) {
+	libcCase(t, `
+int main() {
+	char buf[8];
+	long full = snprintf(buf, 8, "%d-%s", 123, "abcdef");
+	if (strcmp(buf, "123-abc") != 0) { return 1; }   /* truncated at 7+NUL */
+	return full;                                      /* untruncated length */
+}`, "", 10, "")
+}
+
+func TestStrchrStrstr(t *testing.T) {
+	libcCase(t, `
+int main() {
+	char s[32];
+	strcpy(s, "find the needle");
+	char *at = strchr(s, 't');
+	if (at == NULL || *at != 't') { return 1; }
+	char *sub = strstr(s, "needle");
+	if (sub == NULL) { return 2; }
+	if (strstr(s, "missing") != NULL) { return 3; }
+	return sub - s;                       /* offset of "needle" */
+}`, "", 9, "")
+}
+
+func TestReallocAcrossSections(t *testing.T) {
+	// realloc must work on isolated-section chunks too (Pythia-hardened
+	// programs that grow vulnerable buffers).
+	src := `
+int main() {
+	char *p = malloc(16);
+	fgets(p, 16);                       /* taints p: Pythia will isolate it */
+	char *q = realloc(p, 256);
+	long n = strlen(q);
+	free(q);
+	return n;
+}`
+	libcCase(t, src, "grown\n", 5, "")
+}

@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Generate emits the deterministic MiniC source for a profile.
+func Generate(p *Profile) string {
+	g := &srcGen{p: p}
+	return g.program()
+}
+
+// Stdin returns the benign input the generated program consumes: one
+// header line per cold scan/get site plus one line per worker round.
+func Stdin(p *Profile) string {
+	var b strings.Builder
+	for i := 0; i < p.ScanICs+p.GetICs+4; i++ {
+		fmt.Fprintf(&b, "%d hdr%d\n", i*7+3, i)
+	}
+	for r := 0; r < p.HotRounds; r++ {
+		for w := 0; w < p.Workers; w++ {
+			fmt.Fprintf(&b, "req-%d-%d payload%d\n", r, w, (r*13+w*7)%97)
+		}
+	}
+	return b.String()
+}
+
+type srcGen struct {
+	p *Profile
+	b strings.Builder
+}
+
+func (g *srcGen) printf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+func (g *srcGen) program() string {
+	p := g.p
+	g.printf("/* generated workload: %s (%s) */\n", p.Name, p.Lang)
+	g.printf("void pin(long *x) { }\n\n")
+
+	if p.TaintedStructBr > 0 || p.Lang == "c++" {
+		g.printf("struct rec { long key; long val; long aux; };\n\n")
+	}
+	if p.Wrappers {
+		// ngx_-style user-implemented channel wrappers (§6.3: "nginx
+		// also uses ... their implementation variations beginning with
+		// ngx_").
+		g.printf("void ngx_cpymem(char *dst, char *src, long n) { memcpy(dst, src, n); }\n")
+		g.printf("void ngx_pstrcpy(char *dst, char *src) { strcpy(dst, src); }\n\n")
+	}
+	g.deepChain()
+	// Pad roots: module data no branch slice ever touches — they dilute
+	// the vulnerable-variable fraction exactly as the bulk of a real
+	// program's data segment does (Fig. 6a: CPA marks ~29% of variables).
+	for i := 0; i < p.ColdBranches*2; i++ {
+		g.printf("long gpv%d[2];\n", i)
+	}
+	g.printf("\n")
+	for w := 0; w < p.Workers; w++ {
+		g.worker(w)
+	}
+	g.coldIO("cold_io")
+	// A never-invoked twin models the unused library/configuration code
+	// real benchmarks carry: its hardening sites are instrumented but
+	// never execute ("only ~50% of instrumented PA instructions are
+	// executed dynamically", §6.2).
+	g.coldIO("cold_spare")
+	g.mainFunc()
+	return g.b.String()
+}
+
+// deepChain emits a call chain deeper than Pythia's interprocedural
+// slicing horizon; branches on its result are attackable (ground truth)
+// but outside what Pythia can certify.
+func (g *srcGen) hasChains() bool {
+	return g.p.DeepChainBr > 0 || g.p.ColdDeepBr > 0
+}
+
+func (g *srcGen) deepChain() {
+	if !g.hasChains() {
+		return
+	}
+	const depth = 5
+	// g_cfg is the channel-tainted configuration value; it reaches the
+	// chain users only through five call hops, which is past Pythia's
+	// interprocedural slicing horizon (and DFI never crosses calls).
+	g.printf("long g_cfg;\n")
+	g.printf("long chain%d(long v) { return v * 3 + g_cfg; }\n", depth)
+	for i := depth - 1; i >= 1; i-- {
+		g.printf("long chain%d(long v) { return chain%d(v + %d); }\n", i, i+1, i)
+	}
+	g.printf("\n")
+}
+
+func (g *srcGen) worker(w int) {
+	p := g.p
+	copyFn := "memcpy"
+	if p.Wrappers {
+		copyFn = "ngx_cpymem"
+	}
+	g.printf("long worker%d(long seed) {\n", w)
+	g.printf("\tchar inbuf[48];\n")
+	g.printf("\tlong params[8];\n")
+	g.printf("\tlong table[64];\n")
+	g.printf("\tlong aux[4];\n")
+	g.printf("\tchar side[24];\n")
+	for k := 1; k <= p.ICInLoop; k++ {
+		g.printf("\tchar loopbuf%d[24];\n", k)
+	}
+	if p.TaintedStructBr > 0 {
+		g.printf("\tstruct rec r;\n")
+	}
+	for h := 0; h < p.HeapVulnBufs; h++ {
+		g.printf("\tchar *hv%d = malloc(96);\n", h)
+	}
+	for h := 0; h < p.HeapColdBufs; h++ {
+		g.printf("\tlong *hc%d = malloc(8 * 32);\n", h)
+	}
+	g.printf("\tlong i; long j; long acc; long hot;\n")
+	g.printf("\tacc = seed; hot = 0;\n")
+	g.printf("\tfor (i = 0; i < 64; i++) { table[i] = i * 2654435761 + seed; }\n")
+	for h := 0; h < p.HeapColdBufs; h++ {
+		g.printf("\tfor (i = 0; i < 32; i++) { hc%d[i] = i * %d + 7; }\n", h, h+3)
+	}
+
+	// Input phase: one bounded get per round plus derived parameters.
+	g.printf("\tfgets(inbuf, 48);\n")
+	g.printf("\t%s(side, inbuf, 16);\n", copyFn)
+	for k := 0; k < 8; k++ {
+		g.printf("\tparams[%d] = inbuf[%d] + seed + %d;\n", k, k, k)
+	}
+	g.printf("\tfor (i = 0; i < 4; i++) { aux[i] = seed * %d + i * 5; }\n", w+11)
+	for h := 0; h < p.HeapVulnBufs; h++ {
+		g.printf("\t%s(hv%d, inbuf, 32);\n", copyFn, h)
+	}
+	if p.TaintedStructBr > 0 {
+		g.printf("\tr.key = params[0]; r.val = params[1]; r.aux = seed;\n")
+	}
+	// One direct branch on channel data (the Fig. 6a "direct" class).
+	g.printf("\tif (inbuf[0] == 'q') { return seed; }\n")
+
+	g.printf("\tfor (i = 0; i < %d; i++) {\n", p.OuterTrip)
+	// In-loop channel uses: distinct destination buffers, so each gets
+	// its own canary window per iteration under Pythia and its own
+	// reseal under CPA.
+	for k := 1; k <= p.ICInLoop; k++ {
+		g.printf("\t\t%s(loopbuf%d, inbuf, %d);\n", copyFn, k, 8+k*4)
+	}
+	// Branch-free hot inner loop: the uninstrumented base load.
+	g.printf("\t\tfor (j = 0; j < %d; j++) {\n", p.InnerTrip)
+	g.printf("\t\t\thot = hot + table[(i + j * 7) %% 64] + (hot >> 3);\n")
+	g.printf("\t\t}\n")
+	// Medium loop: instrumented accesses — the overhead driver.
+	g.printf("\t\tfor (j = 0; j < %d; j++) {\n", p.MediumTrip)
+	if p.DFIFriendly {
+		// Constant-index addressing keeps DFI's slicer alive while the
+		// loads still hit CPA-sealed objects (the overhead is kept).
+		g.printf("\t\t\tacc = acc + params[0] + side[3] + j;\n")
+	} else {
+		g.printf("\t\t\tacc = acc + params[j %% 8] + side[j %% 24];\n")
+	}
+	for h := 0; h < p.HeapVulnBufs; h++ {
+		g.printf("\t\t\tacc = acc + hv%d[(j * 5) %% 96];\n", h)
+	}
+	g.printf("\t\t\tif (acc %% 13 == %d) { acc = acc + 3; }\n", (w*3)%13)
+	g.printf("\t\t}\n")
+
+	// Tainted branches on plain scalars (constant indices: DFI can
+	// follow these).
+	for k := 0; k < p.TaintedScalarBr; k++ {
+		g.printf("\t\tif (params[%d] > acc %% 1009) { acc = acc - %d; }\n", k%8, k+1)
+	}
+	// Tainted branches through non-constant indexing (pointer
+	// arithmetic: DFI's slices terminate here).
+	for k := 0; k < p.TaintedPtrBr; k++ {
+		g.printf("\t\tif (params[(i + %d) %% 8] > acc %% 701) { acc = acc + %d; }\n", k, k+2)
+	}
+	// Tainted branches through struct fields (field sensitivity: DFI
+	// terminates here too; common in the C++ benchmarks).
+	for k := 0; k < p.TaintedStructBr; k++ {
+		field := []string{"key", "val", "aux"}[k%3]
+		g.printf("\t\tif (r.%s > acc %% 997) { acc = acc + %d; }\n", field, k+1)
+	}
+	// Untainted branches: never influenced by any channel.
+	for k := 0; k < p.UntaintedBr; k++ {
+		g.printf("\t\tif (aux[%d] + i * %d > %d) { hot = hot + %d; }\n", k%4, k+1, 40+k*17, k+1)
+	}
+	for k := 0; k < p.DeepChainBr; k++ {
+		g.printf("\t\tif (chain1(i + %d) %% 2 == 0) { acc = acc + 1; }\n", k+w)
+	}
+	g.printf("\t}\n")
+
+	for h := 0; h < p.HeapVulnBufs; h++ {
+		g.printf("\tfree(hv%d);\n", h)
+	}
+	for h := 0; h < p.HeapColdBufs; h++ {
+		g.printf("\tacc = acc + hc%d[31];\n\tfree(hc%d);\n", h, h)
+	}
+	g.printf("\treturn acc + hot;\n}\n\n")
+}
+
+// coldIO emits the run-once functions that carry the benchmark's static
+// input-channel population (the Fig. 5b distribution) and cold branches.
+func (g *srcGen) coldIO(name string) {
+	p := g.p
+	copyFn := "memcpy"
+	putFn := "strcpy"
+	if p.Wrappers {
+		copyFn = "ngx_cpymem"
+		putFn = "ngx_pstrcpy"
+	}
+	g.printf("long %s(long seed) {\n", name)
+	g.printf("\tchar a[64]; char b[64]; char c[64];\n")
+	g.printf("\tlong v; long accS; long accM; long accU; long i;\n")
+	g.printf("\tpin(&v);\n")
+	g.printf("\taccS = seed; accM = 0; accU = seed * 17 + 5; v = 0;\n")
+	g.printf("\tmemcpy(a, \"coldstate\", 10);\n")
+	g.printf("\tmemcpy(b, \"workbuf\", 8);\n")
+	// CPA-only roots: in a branch backward slice but never tainted —
+	// the conservative scheme seals them, the refinement drops them.
+	cpaOnly := p.ColdBranches / 3
+	for i := 0; i < cpaOnly; i++ {
+		g.printf("\tlong cq%d[2];\n\tcq%d[0] = seed * %d + 3;\n", i, i, i+2)
+		g.printf("\tif (cq%d[0] %% %d == %d) { accU = accU + 1; }\n", i, 5+i%7, i%4)
+	}
+	for i := 0; i < p.ScanICs; i++ {
+		g.printf("\tscanf(\"%%d\", &v); accS = accS + v;\n")
+	}
+	for i := 0; i < p.GetICs; i++ {
+		g.printf("\tfgets(c, 64); accS = accS + c[%d];\n", i%8)
+	}
+	if g.hasChains() {
+		// The deep-chain taint source: channel data reaches g_cfg here
+		// and chain users only see it five calls away.
+		g.printf("\tg_cfg = accS;\n")
+	}
+	for i := 0; i < p.CopyICs; i++ {
+		switch i % 3 {
+		case 0:
+			g.printf("\t%s(b, a, %d);\n", copyFn, 8+(i%5)*4)
+		case 1:
+			g.printf("\tmemmove(c, b, %d);\n", 8+(i%7)*2)
+		default:
+			g.printf("\tstrncpy(a, c, %d);\n", 6+(i%4)*3)
+		}
+	}
+	for i := 0; i < p.PutICs; i++ {
+		g.printf("\t%s(c, \"tag%d\");\n", putFn, i)
+	}
+	for i := 0; i < p.MapICs; i++ {
+		g.printf("\tchar *m%d = mmap(128);\n\tm%d[0] = 'm'; accM = accM + m%d[0];\n", i, i, i)
+	}
+	if p.MapICs == 0 && p.ColdHostileBr > 0 {
+		g.printf("\tchar *m0 = mmap(128);\n\tm0[0] = 'm'; accM = accM + m0[0];\n")
+	}
+	for i := 0; i < p.PrintICs; i++ {
+		switch i % 3 {
+		case 0:
+			g.printf("\tprintf(\"st%d %%d\\n\", accU %% 100);\n", i)
+		case 1:
+			g.printf("\tputs(\"checkpoint%d\");\n", i)
+		default:
+			g.printf("\tprintf(\"%%s#%d\\n\", a);\n", i)
+		}
+	}
+	// Cold branch population, split by slice class:
+	//   hostile — mmap-derived, DFI's slicer terminates;
+	//   deep    — tainted only through the deep call chain, both miss;
+	//   tainted — channel-derived through constant addressing, both secure;
+	//   rest    — untainted (the "unaffected" class).
+	taintedCold := p.ColdBranches / 12
+	plain := p.ColdBranches - p.ColdHostileBr - p.ColdDeepBr - taintedCold
+	for i := 0; i < p.ColdHostileBr; i++ {
+		g.printf("\tif (accM %% %d == %d) { accU = accU + %d; }\n", 3+i%11, i%3, i%5+1)
+	}
+	for i := 0; i < p.ColdDeepBr; i++ {
+		g.printf("\tif (chain1(%d) %% %d == %d) { accU = accU + 1; }\n", i, 3+i%7, i%3)
+	}
+	for i := 0; i < taintedCold; i++ {
+		g.printf("\tif (accS %% %d == %d) { accU = accU + %d; }\n", 5+i%9, i%4, i%3+1)
+	}
+	for i := 0; i < plain; i++ {
+		g.printf("\tif (accU %% %d == %d) { accU = accU + %d; }\n", 3+i%11, i%3, i%5+1)
+	}
+	g.printf("\treturn accS + accM + accU;\n}\n\n")
+}
+
+func (g *srcGen) mainFunc() {
+	p := g.p
+	g.printf("int main() {\n")
+	g.printf("\tlong total; long r;\n")
+	g.printf("\ttotal = cold_io(3);\n")
+	g.printf("\tfor (r = 0; r < %d; r++) {\n", p.HotRounds)
+	for w := 0; w < p.Workers; w++ {
+		g.printf("\t\ttotal = total + worker%d(r + %d);\n", w, w)
+	}
+	g.printf("\t}\n")
+	g.printf("\tprintf(\"total %%d\\n\", total %% 1000000007);\n")
+	g.printf("\treturn 0;\n}\n")
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/vm"
+)
+
+// RunResult bundles one benchmark execution's measurements.
+type RunResult struct {
+	Profile    *Profile
+	Scheme     core.Scheme
+	Counters   *perf.Counters
+	BinarySize int64
+	Protection *core.Protection
+	Ret        uint64
+	Fault      *vm.Fault
+	Stdout     int // bytes of program output (sanity signal)
+
+	// StaticSites / ExecutedSites: hardening instructions inserted vs
+	// those that ran at least once (the Fig. 6b dynamic-share metric).
+	StaticSites   int
+	ExecutedSites int
+}
+
+// Overhead returns this run's cycle overhead relative to base, percent.
+func (r *RunResult) Overhead(base *RunResult) float64 {
+	return perf.Overhead(base.Counters.Cycles, r.Counters.Cycles)
+}
+
+// Build generates, compiles, and protects the profile's program.
+func Build(p *Profile, scheme core.Scheme) (*core.Program, error) {
+	src := Generate(p)
+	prog, err := core.Build(p.Name, src, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	return prog, nil
+}
+
+// Run builds and executes the profile under the scheme with its benign
+// input, returning the measurements. A fault is a harness bug: the
+// generated programs must run clean under every scheme.
+func Run(p *Profile, scheme core.Scheme) (*RunResult, error) {
+	prog, err := Build(p, scheme)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prog.Run(Stdin(p))
+	if err != nil {
+		return nil, err
+	}
+	if res.Fault != nil {
+		return nil, fmt.Errorf("workload %s under %v faulted: %v", p.Name, scheme, res.Fault)
+	}
+	static := 0
+	for _, f := range prog.Mod.Defined() {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op.IsHardening() {
+					static++
+				}
+			}
+		}
+	}
+	return &RunResult{
+		Profile:       p,
+		Scheme:        scheme,
+		Counters:      res.Counters,
+		BinarySize:    core.BinarySize(prog.Mod),
+		Protection:    prog.Protection,
+		Ret:           res.Ret,
+		Fault:         res.Fault,
+		Stdout:        len(res.Stdout),
+		StaticSites:   static,
+		ExecutedSites: res.SitesExecuted,
+	}, nil
+}

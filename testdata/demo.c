@@ -1,0 +1,22 @@
+/* demo.c — the quickstart victim: gets() can overflow `name` into
+ * `admin`, bending the privilege branch. Try:
+ *
+ *   go run ./cmd/pythiac -scheme vanilla -stdin testdata/attack.txt testdata/demo.c
+ *   go run ./cmd/pythiac -scheme pythia  -stdin testdata/attack.txt testdata/demo.c
+ *   go run ./cmd/pythiac -analyze testdata/demo.c
+ */
+void pin(long *x) { }
+
+int main() {
+	char name[8];
+	long admin;
+	pin(&admin);
+	admin = 0;
+	gets(name);
+	if (admin != 0) {
+		printf("access: ADMIN\n");
+		return 1;
+	}
+	printf("access: user %s\n", name);
+	return 0;
+}

@@ -3,6 +3,7 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"os/exec"
 	"strings"
 	"testing"
@@ -101,5 +102,52 @@ func TestPythiaBenchMarkdownFormat(t *testing.T) {
 	out := run(t, "./cmd/pythia-bench", "-experiment", "bruteforce", "-format", "markdown")
 	if !strings.Contains(out, "| quantity | value |") {
 		t.Fatalf("markdown format broken:\n%s", out)
+	}
+}
+
+// TestPythiaBenchRejectsUnknownFormat: an invalid -format must fail fast
+// with exit status 2 and a usage message, not fall through to ascii.
+// Built and invoked directly because `go run` maps every child failure
+// to its own exit status 1.
+func TestPythiaBenchRejectsUnknownFormat(t *testing.T) {
+	bin := t.TempDir() + "/pythia-bench"
+	build := exec.Command("go", "build", "-o", bin, "./cmd/pythia-bench")
+	build.Dir = ".."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-experiment", "bruteforce", "-format", "bogus")
+	out, err := cmd.CombinedOutput()
+	exit, isExit := err.(*exec.ExitError)
+	if !isExit || exit.ExitCode() != 2 {
+		t.Fatalf("want exit status 2, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), `invalid -format "bogus"`) || !strings.Contains(string(out), "Usage") {
+		t.Fatalf("missing diagnostic/usage:\n%s", out)
+	}
+	if strings.Contains(string(out), "E[tries]") {
+		t.Fatalf("experiment must not run under an invalid format:\n%s", out)
+	}
+}
+
+// TestPythiaBenchJSON: -json must emit one well-formed document carrying
+// the table data and the cache statistics.
+func TestPythiaBenchJSON(t *testing.T) {
+	out := run(t, "./cmd/pythia-bench", "-experiment", "bruteforce", "-json")
+	var doc struct {
+		Experiments []struct {
+			ID      string     `json:"id"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "bruteforce" {
+		t.Fatalf("unexpected document: %+v", doc)
+	}
+	if len(doc.Experiments[0].Rows) == 0 || len(doc.Experiments[0].Columns) != 2 {
+		t.Fatalf("table data missing: %+v", doc.Experiments[0])
 	}
 }

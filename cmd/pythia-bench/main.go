@@ -8,24 +8,70 @@
 //	pythia-bench -quick           # 3-benchmark smoke subset
 //	pythia-bench -list
 //	pythia-bench -format markdown
+//	pythia-bench -parallel 4      # pre-warm worker count (0 = GOMAXPROCS)
+//	pythia-bench -json            # one machine-readable JSON document
+//
+// All (profile, scheme) executions the selected experiments declare are
+// pre-warmed through a shared memoized run cache, so overlapping
+// experiments pay for each pair once. Tables go to stdout; per-experiment
+// wall times and cache statistics go to stderr, keeping the table stream
+// byte-identical between sequential fresh and parallel cached runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/report"
 )
+
+// renderers is the single place the -format flag is resolved; unknown
+// formats are rejected before any experiment runs.
+var renderers = map[string]func(*report.Table) string{
+	"ascii":    (*report.Table).String,
+	"markdown": (*report.Table).Markdown,
+	"csv":      (*report.Table).CSV,
+}
+
+type jsonTable struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+type jsonDoc struct {
+	Quick       bool        `json:"quick"`
+	Parallel    int         `json:"parallel"`
+	PrewarmMS   float64     `json:"prewarm_ms"`
+	TotalMS     float64     `json:"total_ms"`
+	CacheStats  bench.Stats `json:"cache_stats"`
+	Experiments []jsonTable `json:"experiments"`
+}
 
 func main() {
 	var (
-		expID  = flag.String("experiment", "", "run only this experiment id (see -list)")
-		quick  = flag.Bool("quick", false, "run on a 3-benchmark subset")
-		format = flag.String("format", "ascii", "output format: ascii, markdown, csv")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		expID    = flag.String("experiment", "", "run only this experiment id (see -list)")
+		quick    = flag.Bool("quick", false, "run on a 3-benchmark subset")
+		format   = flag.String("format", "ascii", "output format: ascii, csv, markdown")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", 0, "pre-warm worker pool size (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON document instead of rendered tables")
 	)
 	flag.Parse()
+
+	render, ok := renderers[*format]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pythia-bench: invalid -format %q (valid: ascii, csv, markdown)\n", *format)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -33,35 +79,61 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.DefaultConfig()
-	cfg.Quick = *quick
 
-	run := func(e bench.Experiment) {
-		t, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pythia-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		switch *format {
-		case "markdown":
-			fmt.Println(t.Markdown())
-		case "csv":
-			fmt.Println(t.CSV())
-		default:
-			fmt.Println(t.String())
-		}
-	}
-
+	exps := bench.All()
 	if *expID != "" {
 		e, err := bench.ByID(*expID)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
 			os.Exit(1)
 		}
-		run(e)
+		exps = []bench.Experiment{e}
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Parallel = *parallel
+
+	start := time.Now()
+	cfg.Prewarm(exps)
+	prewarm := time.Since(start)
+
+	doc := jsonDoc{Quick: *quick, Parallel: *parallel, PrewarmMS: ms(prewarm)}
+	for _, e := range exps {
+		t0 := time.Now()
+		tbl, err := e.Run(cfg)
+		elapsed := time.Since(t0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pythia-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			doc.Experiments = append(doc.Experiments, jsonTable{
+				ID: tbl.ID, Title: tbl.Title, Columns: tbl.Columns,
+				Rows: tbl.Rows, Notes: tbl.Notes, ElapsedMS: ms(elapsed),
+			})
+			continue
+		}
+		fmt.Println(render(tbl))
+		fmt.Fprintf(os.Stderr, "# %-12s %7.3fs\n", e.ID, elapsed.Seconds())
+	}
+
+	total := time.Since(start)
+	stats := cfg.Runner().Stats()
+	if *jsonOut {
+		doc.TotalMS = ms(total)
+		doc.CacheStats = stats
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
 		return
 	}
-	for _, e := range bench.All() {
-		run(e)
-	}
+	fmt.Fprintf(os.Stderr, "# total %.3fs (prewarm %.3fs); runs %d executed / %d served cached; analyses %d executed / %d served cached\n",
+		total.Seconds(), prewarm.Seconds(),
+		stats.RunMisses, stats.RunHits, stats.AnalysisMisses, stats.AnalysisHits)
 }
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

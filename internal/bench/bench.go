@@ -1,12 +1,21 @@
 // Package bench is the experiment harness: one Experiment per table or
 // figure in the paper's evaluation (§6), each regenerating the same rows
 // or series the paper reports on the simulated machine.
+//
+// Experiments do not execute workloads themselves: they pull every
+// measurement through the Config's Runner, a memoized, concurrency-safe
+// run cache, so overlapping experiments (fig4a/fig4b/fig5a all need the
+// same CPA and Pythia runs) pay for each (profile, scheme) pair once.
+// Each Experiment declares its pairs up front via Warm, which lets
+// Config.Prewarm populate the cache with a worker pool before the
+// experiments render their tables sequentially.
 package bench
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
+	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -17,23 +26,40 @@ type Config struct {
 	// Quick trims the profile list to three representatives for smoke
 	// runs (lbm, gcc, nginx).
 	Quick bool
+	// Parallel sizes the Prewarm worker pool; 0 means GOMAXPROCS.
+	Parallel int
+
+	runnerOnce sync.Once
+	runner     *Runner
 }
 
 // DefaultConfig runs everything.
 func DefaultConfig() *Config { return &Config{Profiles: workload.Profiles()} }
 
-func (c *Config) profiles() []workload.Profile {
-	if !c.Quick {
-		return c.Profiles
-	}
-	var out []workload.Profile
-	for _, p := range c.Profiles {
-		switch p.Name {
-		case "519.lbm_r", "502.gcc_r", "nginx":
-			out = append(out, p)
+// Runner returns the config's shared run cache, created on first use.
+func (c *Config) Runner() *Runner {
+	c.runnerOnce.Do(func() { c.runner = NewRunner() })
+	return c.runner
+}
+
+// profiles resolves the selected profile list. An empty selection is an
+// error: every overhead experiment averages over the list, so running on
+// zero profiles would emit NaN rows instead of tables.
+func (c *Config) profiles() ([]workload.Profile, error) {
+	out := c.Profiles
+	if c.Quick {
+		out = nil
+		for _, p := range c.Profiles {
+			switch p.Name {
+			case "519.lbm_r", "502.gcc_r", "nginx":
+				out = append(out, p)
+			}
 		}
 	}
-	return out
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: no profiles selected (%d configured, quick=%v) — nothing to run or average over", len(c.Profiles), c.Quick)
+	}
+	return out, nil
 }
 
 // Experiment regenerates one figure/table.
@@ -41,27 +67,71 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(*Config) (*report.Table, error)
+	// Warm declares the cacheable work Run will request, so Prewarm can
+	// execute it ahead of time. nil means the experiment has nothing to
+	// pre-warm (purely analytic or non-profile work).
+	Warm func(*Config) []Task
+}
+
+// warmRuns declares a vanilla + per-scheme execution of every selected
+// profile — the shape of all overhead experiments.
+func warmRuns(schemes ...core.Scheme) func(*Config) []Task {
+	return func(cfg *Config) []Task {
+		ps, err := cfg.profiles()
+		if err != nil {
+			return nil // the experiment itself will surface the error
+		}
+		var out []Task
+		for _, p := range ps {
+			out = append(out, Task{Profile: p, Scheme: core.SchemeVanilla})
+			for _, s := range schemes {
+				out = append(out, Task{Profile: p, Scheme: s})
+			}
+		}
+		return out
+	}
+}
+
+// warmAnalyses declares the vulnerability analysis of every selected
+// profile.
+func warmAnalyses(cfg *Config) []Task {
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil
+	}
+	var out []Task
+	for _, p := range ps {
+		out = append(out, Task{Profile: p, Analyze: true})
+	}
+	return out
 }
 
 // All returns the experiment registry in the paper's order.
 func All() []Experiment {
+	overhead := warmRuns(core.SchemeCPA, core.SchemePythia)
 	return []Experiment{
-		{"fig4a", "Runtime overhead: CPA vs Pythia (normalized to vanilla)", Fig4aRuntimeOverhead},
-		{"fig4b", "Binary size increase: CPA vs Pythia", Fig4bBinarySize},
-		{"fig5a", "IPC degradation: CPA vs Pythia", Fig5aIPC},
-		{"fig5b", "Input-channel distribution by category", Fig5bInputChannels},
-		{"fig6a", "Vulnerable variables: CPA vs Pythia refinement", Fig6aVulnerableVars},
-		{"fig6b", "ARM-PA instructions: static and dynamic, CPA vs Pythia", Fig6bPAInstructions},
-		{"fig7a", "Pointers in backward slices / branch density", Fig7aPointerBackslice},
-		{"fig7b", "Branches secured: DFI vs Pythia", Fig7bBranchSecurity},
-		{"attackdist", "Attack distance: input channel vs DFI vs Pythia", AttackDistance},
-		{"nginx", "Nginx case study: overheads and channels", NginxStudy},
-		{"eqbounds", "Analytic instruction bounds (Eq. 1 vs Eq. 5)", EqBounds},
-		{"bruteforce", "Canary brute-force model (Eq. 6)", BruteForce},
-		{"attacks", "Attack corpus outcome matrix (incl. §6.3 listings)", AttackMatrix},
-		{"ablation", "Pythia design ablation (stack/heap/relayout)", Ablation},
-		{"fieldcanary", "Intra-struct overflow: §6.4 limitation and the field-canary extension", FieldCanary},
+		{"fig4a", "Runtime overhead: CPA vs Pythia (normalized to vanilla)", Fig4aRuntimeOverhead, overhead},
+		{"fig4b", "Binary size increase: CPA vs Pythia", Fig4bBinarySize, overhead},
+		{"fig5a", "IPC degradation: CPA vs Pythia", Fig5aIPC, overhead},
+		{"fig5b", "Input-channel distribution by category", Fig5bInputChannels, warmAnalyses},
+		{"fig6a", "Vulnerable variables: CPA vs Pythia refinement", Fig6aVulnerableVars, warmAnalyses},
+		{"fig6b", "ARM-PA instructions: static and dynamic, CPA vs Pythia", Fig6bPAInstructions, overhead},
+		{"fig7a", "Pointers in backward slices / branch density", Fig7aPointerBackslice, warmAnalyses},
+		{"fig7b", "Branches secured: DFI vs Pythia", Fig7bBranchSecurity, warmAnalyses},
+		{"attackdist", "Attack distance: input channel vs DFI vs Pythia", AttackDistance, warmAnalyses},
+		{"nginx", "Nginx case study: overheads and channels", NginxStudy, warmNginx},
+		{"eqbounds", "Analytic instruction bounds (Eq. 1 vs Eq. 5)", EqBounds, warmEqBounds},
+		{"bruteforce", "Canary brute-force model (Eq. 6)", BruteForce, nil},
+		{"attacks", "Attack corpus outcome matrix (incl. §6.3 listings)", AttackMatrix, nil},
+		{"ablation", "Pythia design ablation (stack/heap/relayout)", Ablation,
+			warmRuns(core.SchemePythia, core.SchemeStackOnly, core.SchemeHeapOnly, core.SchemeNoRelayout)},
+		{"fieldcanary", "Intra-struct overflow: §6.4 limitation and the field-canary extension", FieldCanary, nil},
 	}
+}
+
+// warmEqBounds needs both the analyses and the CPA/Pythia runs.
+func warmEqBounds(cfg *Config) []Task {
+	return append(warmAnalyses(cfg), warmRuns(core.SchemeCPA, core.SchemePythia)(cfg)...)
 }
 
 // ByID returns the experiment with the given id.
@@ -72,14 +142,4 @@ func ByID(id string) (Experiment, error) {
 		}
 	}
 	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
-}
-
-// sortedKeys is a small helper for deterministic map iteration.
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

@@ -2,9 +2,12 @@ package bench_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -34,10 +37,11 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 // TestEveryExperimentRunsQuick executes the full registry on the quick
-// subset — the integration gate for the whole harness.
+// subset — the integration gate for the whole harness. The shared Config
+// memoizes across experiments, as in the CLI.
 func TestEveryExperimentRunsQuick(t *testing.T) {
 	if testing.Short() {
-		t.Skip("quick subset still takes ~20s")
+		t.Skip("quick subset still takes seconds")
 	}
 	cfg := bench.DefaultConfig()
 	cfg.Quick = true
@@ -59,5 +63,204 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 				t.Fatal("rendered table must carry its id")
 			}
 		})
+	}
+}
+
+// TestEmptyProfileSelectionErrors: Quick intersected with a profile list
+// that lacks the three representatives used to emit NaN averages
+// (division by zero rows); it must be a descriptive error instead.
+func TestEmptyProfileSelectionErrors(t *testing.T) {
+	custom := *workload.ProfileByName("505.mcf_r")
+	for _, cfg := range []*bench.Config{
+		{Quick: true}, // empty list
+		{Profiles: []workload.Profile{custom}, Quick: true}, // non-intersecting
+		{}, // explicit empty, no quick
+	} {
+		for _, id := range []string{"fig4a", "fig4b", "fig5a", "fig7b", "ablation"} {
+			e, err := bench.ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := e.Run(cfg)
+			if err == nil {
+				t.Fatalf("%s over empty selection: want error, got table:\n%s", id, tbl)
+			}
+			if !strings.Contains(err.Error(), "no profiles selected") {
+				t.Fatalf("%s: undescriptive error %q", id, err)
+			}
+		}
+	}
+}
+
+// tinyProfile is a milliseconds-scale workload for cache tests.
+func tinyProfile() workload.Profile {
+	p := *workload.ProfileByName("519.lbm_r")
+	p.Name = "tiny"
+	p.HotRounds, p.OuterTrip, p.InnerTrip, p.MediumTrip = 2, 3, 4, 3
+	return p
+}
+
+// TestRunnerSingleflight hammers one Runner from many goroutines (run
+// under -race) and checks that each distinct (profile, scheme) pair and
+// each analysis executed exactly once, with every caller handed the same
+// memoized result.
+func TestRunnerSingleflight(t *testing.T) {
+	r := bench.NewRunner()
+	p := tinyProfile()
+	schemes := []core.Scheme{core.SchemeVanilla, core.SchemePythia}
+
+	const goroutines = 16
+	results := make([]*workload.RunResult, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pp := p // own copy per goroutine, same fingerprint
+			for _, s := range schemes {
+				res, err := r.Run(&pp, s)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if s == core.SchemePythia {
+					results[i] = res
+				}
+			}
+			if _, err := r.Analyze(&pp); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d got a different RunResult pointer — cache not shared", i)
+		}
+	}
+	st := r.Stats()
+	if st.RunMisses != len(schemes) {
+		t.Fatalf("RunMisses = %d, want %d (singleflight must dedupe)", st.RunMisses, len(schemes))
+	}
+	if st.AnalysisMisses != 1 {
+		t.Fatalf("AnalysisMisses = %d, want 1", st.AnalysisMisses)
+	}
+	if st.RunHits != goroutines*len(schemes)-len(schemes) {
+		t.Fatalf("RunHits = %d, want %d", st.RunHits, goroutines*len(schemes)-len(schemes))
+	}
+}
+
+// TestRunnerCachesErrors: a failing execution is memoized too — every
+// caller sees the same error without re-running the build.
+func TestRunnerCachesErrors(t *testing.T) {
+	r := bench.NewRunner()
+	bad := tinyProfile()
+	// An out-of-range scheme value fails in harden.Apply, giving a
+	// deterministic error to memoize.
+	if _, err := r.Run(&bad, core.Scheme(99)); err == nil {
+		t.Skip("scheme 99 unexpectedly runnable")
+	}
+	st0 := r.Stats()
+	if _, err := r.Run(&bad, core.Scheme(99)); err == nil {
+		t.Fatal("second call must replay the memoized error")
+	}
+	st1 := r.Stats()
+	if st1.RunMisses != st0.RunMisses || st1.RunHits != st0.RunHits+1 {
+		t.Fatalf("error result not served from cache: %+v -> %+v", st0, st1)
+	}
+}
+
+// TestSequentialVsParallelDeterminism is the repo's invariant #3 applied
+// to the new harness: a cold sequential run (fresh Runner per
+// experiment) and a pre-warmed parallel cached run must render
+// byte-identical tables.
+func TestSequentialVsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite twice")
+	}
+	render := func(parallel bool) string {
+		var b strings.Builder
+		if parallel {
+			cfg := bench.DefaultConfig()
+			cfg.Quick = true
+			cfg.Parallel = 4
+			cfg.Prewarm(bench.All())
+			for _, e := range bench.All() {
+				tbl, err := e.Run(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", e.ID, err)
+				}
+				b.WriteString(tbl.String())
+			}
+			return b.String()
+		}
+		for _, e := range bench.All() {
+			cfg := bench.DefaultConfig() // fresh cache every experiment
+			cfg.Quick = true
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			b.WriteString(tbl.String())
+		}
+		return b.String()
+	}
+	seq := render(false)
+	par := render(true)
+	if seq != par {
+		t.Fatal("sequential fresh and parallel cached outputs differ")
+	}
+}
+
+// TestWarmDeclarationsComplete: after Prewarm, no experiment may trigger
+// new cache misses — every (profile, scheme) pair and analysis an
+// experiment needs must be declared by its Warm hook.
+func TestWarmDeclarationsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prewarms the quick suite")
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Quick = true
+	cfg.Parallel = 2
+	cfg.Prewarm(bench.All())
+	warm := cfg.Runner().Stats()
+	for _, e := range bench.All() {
+		if _, err := e.Run(cfg); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		st := cfg.Runner().Stats()
+		if st.RunMisses != warm.RunMisses || st.AnalysisMisses != warm.AnalysisMisses {
+			t.Fatalf("%s executed undeclared work: prewarm %+v, after %+v", e.ID, warm, st)
+		}
+	}
+}
+
+// TestWarmTasksDedupe: overlapping experiments (fig4a/4b/5a/6b share
+// every pair) must collapse to one task each.
+func TestWarmTasksDedupe(t *testing.T) {
+	cfg := bench.DefaultConfig()
+	cfg.Quick = true
+	var sum int
+	for _, e := range bench.All() {
+		if e.Warm != nil {
+			sum += len(e.Warm(cfg))
+		}
+	}
+	tasks := bench.WarmTasks(cfg, bench.All())
+	if len(tasks) == 0 {
+		t.Fatal("no warm tasks declared")
+	}
+	if len(tasks) >= sum {
+		t.Fatalf("WarmTasks did not dedupe: %d distinct vs %d declared", len(tasks), sum)
+	}
+	// 3 quick profiles x 6 distinct schemes (vanilla/cpa/pythia from the
+	// overhead experiments + ablation's three variants), nginx's scaled
+	// serving loops adding only the 10- and 120-round profiles x 3
+	// schemes (the 40-round run IS the base nginx profile), and one
+	// analysis per distinct profile (lbm, gcc, nginx).
+	if want := 3*6 + 2*3 + 3; len(tasks) != want {
+		t.Fatalf("%d distinct tasks, want %d", len(tasks), want)
 	}
 }

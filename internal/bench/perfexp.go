@@ -9,25 +9,6 @@ import (
 	"repro/internal/workload"
 )
 
-// runPair executes one profile under vanilla + the given schemes and
-// returns the results keyed by scheme.
-func runSchemes(p *workload.Profile, schemes ...core.Scheme) (map[core.Scheme]*workload.RunResult, error) {
-	out := make(map[core.Scheme]*workload.RunResult, len(schemes)+1)
-	base, err := workload.Run(p, core.SchemeVanilla)
-	if err != nil {
-		return nil, err
-	}
-	out[core.SchemeVanilla] = base
-	for _, s := range schemes {
-		r, err := workload.Run(p, s)
-		if err != nil {
-			return nil, err
-		}
-		out[s] = r
-	}
-	return out, nil
-}
-
 // Fig4aRuntimeOverhead regenerates Fig. 4(a): per-benchmark cycle
 // overhead of CPA and Pythia over the vanilla build.
 func Fig4aRuntimeOverhead(cfg *Config) (*report.Table, error) {
@@ -36,11 +17,15 @@ func Fig4aRuntimeOverhead(cfg *Config) (*report.Table, error) {
 		Title:   "Runtime overhead vs vanilla (percent)",
 		Columns: []string{"benchmark", "base-Mcycles", "cpa%", "pythia%"},
 	}
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
 	var sumC, sumP float64
 	n := 0
-	for _, p := range cfg.profiles() {
+	for _, p := range ps {
 		p := p
-		rs, err := runSchemes(&p, core.SchemeCPA, core.SchemePythia)
+		rs, err := cfg.Runner().Schemes(&p, core.SchemeCPA, core.SchemePythia)
 		if err != nil {
 			return nil, err
 		}
@@ -63,11 +48,15 @@ func Fig4bBinarySize(cfg *Config) (*report.Table, error) {
 		Title:   "Binary size increase vs vanilla (percent)",
 		Columns: []string{"benchmark", "base-bytes", "cpa%", "pythia%"},
 	}
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
 	var sumC, sumP float64
 	n := 0
-	for _, p := range cfg.profiles() {
+	for _, p := range ps {
 		p := p
-		rs, err := runSchemes(&p, core.SchemeCPA, core.SchemePythia)
+		rs, err := cfg.Runner().Schemes(&p, core.SchemeCPA, core.SchemePythia)
 		if err != nil {
 			return nil, err
 		}
@@ -90,11 +79,15 @@ func Fig5aIPC(cfg *Config) (*report.Table, error) {
 		Title:   "IPC degradation vs vanilla (percent)",
 		Columns: []string{"benchmark", "base-IPC", "cpa%", "pythia%", "llc-miss-cpa", "llc-miss-pythia"},
 	}
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
 	var sumC, sumP float64
 	n := 0
-	for _, p := range cfg.profiles() {
+	for _, p := range ps {
 		p := p
-		rs, err := runSchemes(&p, core.SchemeCPA, core.SchemePythia)
+		rs, err := cfg.Runner().Schemes(&p, core.SchemeCPA, core.SchemePythia)
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +109,27 @@ func Fig5aIPC(cfg *Config) (*report.Table, error) {
 	return t, nil
 }
 
+// nginxRounds returns the three serving-loop lengths the case study
+// scales over (the paper serves for 3 s / 30 s / 300 s).
+func nginxRounds(base workload.Profile) []int {
+	return []int{base.HotRounds / 4, base.HotRounds, base.HotRounds * 3}
+}
+
+// warmNginx declares the scaled serving-loop runs plus the channel
+// census analysis.
+func warmNginx(cfg *Config) []Task {
+	base := workload.NginxProfile()
+	var out []Task
+	for _, rounds := range nginxRounds(base) {
+		p := base
+		p.HotRounds = rounds
+		for _, s := range []core.Scheme{core.SchemeVanilla, core.SchemeCPA, core.SchemePythia} {
+			out = append(out, Task{Profile: p, Scheme: s})
+		}
+	}
+	return append(out, Task{Profile: base, Analyze: true})
+}
+
 // NginxStudy regenerates the §6.3 nginx case study.
 func NginxStudy(cfg *Config) (*report.Table, error) {
 	t := &report.Table{
@@ -124,12 +138,11 @@ func NginxStudy(cfg *Config) (*report.Table, error) {
 		Columns: []string{"run", "rounds", "cpa%", "pythia%"},
 	}
 	base := workload.NginxProfile()
-	// The paper serves for 3 s / 30 s / 300 s; we scale the serving loop.
 	var sumC, sumP float64
-	for i, rounds := range []int{base.HotRounds / 4, base.HotRounds, base.HotRounds * 3} {
+	for i, rounds := range nginxRounds(base) {
 		p := base
 		p.HotRounds = rounds
-		rs, err := runSchemes(&p, core.SchemeCPA, core.SchemePythia)
+		rs, err := cfg.Runner().Schemes(&p, core.SchemeCPA, core.SchemePythia)
 		if err != nil {
 			return nil, err
 		}
@@ -143,11 +156,10 @@ func NginxStudy(cfg *Config) (*report.Table, error) {
 	t.AddNote("average: CPA %.2f%%, Pythia %.2f%%   (paper: CPA 49.13%%, Pythia 20.15%%)", sumC/3, sumP/3)
 
 	// Channel census (paper: 720 channels, 712 move/copy, ngx_ wrappers).
-	prog, err := workload.Build(&base, core.SchemeVanilla)
+	vr, err := cfg.Runner().Analyze(&base)
 	if err != nil {
 		return nil, err
 	}
-	vr := core.Analyze(prog.Mod)
 	d := vr.Distribution()
 	t.AddNote("input channels: %d total, %.1f%% move/copy (paper: 720 total, 712 move/copy incl. ngx_ wrappers)",
 		d.Total, d.Percent(ir.KindMoveCopy)+d.Percent(ir.KindPut))
@@ -162,9 +174,13 @@ func Ablation(cfg *Config) (*report.Table, error) {
 		Title:   "Pythia ablation: overhead of each mechanism in isolation",
 		Columns: []string{"benchmark", "full%", "stack-only%", "heap-only%", "no-relayout%"},
 	}
-	for _, p := range cfg.profiles() {
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range ps {
 		p := p
-		rs, err := runSchemes(&p, core.SchemePythia, core.SchemeStackOnly, core.SchemeHeapOnly, core.SchemeNoRelayout)
+		rs, err := cfg.Runner().Schemes(&p, core.SchemePythia, core.SchemeStackOnly, core.SchemeHeapOnly, core.SchemeNoRelayout)
 		if err != nil {
 			return nil, err
 		}

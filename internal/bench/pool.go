@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Task is one unit of pre-warmable work: either a (profile, scheme)
+// execution or the profile's vulnerability analysis.
+type Task struct {
+	Profile workload.Profile
+	Scheme  core.Scheme
+	Analyze bool
+}
+
+type taskKey struct {
+	fp      string
+	scheme  core.Scheme
+	analyze bool
+}
+
+func (t Task) key() taskKey {
+	return taskKey{t.Profile.Fingerprint(), t.Scheme, t.Analyze}
+}
+
+// WarmTasks collects the distinct tasks the given experiments declare
+// over cfg, in declaration order.
+func WarmTasks(cfg *Config, exps []Experiment) []Task {
+	seen := make(map[taskKey]bool)
+	var out []Task
+	for _, e := range exps {
+		if e.Warm == nil {
+			continue
+		}
+		for _, t := range e.Warm(cfg) {
+			if k := t.key(); !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// Prewarm executes every task the experiments declare through the run
+// cache on a pool of cfg.Parallel workers (0 = GOMAXPROCS). Failures
+// stay in the cache and resurface from the owning experiment, so the
+// error-reporting order is identical to a cold sequential run.
+func (c *Config) Prewarm(exps []Experiment) {
+	tasks := WarmTasks(c, exps)
+	workers := c.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers == 0 {
+		return
+	}
+	r := c.Runner()
+	ch := make(chan Task)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				if t.Analyze {
+					r.Analyze(&t.Profile)
+				} else {
+					r.Run(&t.Profile, t.Scheme)
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+}

@@ -14,16 +14,6 @@ import (
 	"repro/internal/workload"
 )
 
-// analyzeProfile compiles a profile's vanilla module and runs the
-// vulnerability analysis.
-func analyzeProfile(p *workload.Profile) (*slice.VulnReport, error) {
-	prog, err := workload.Build(p, core.SchemeVanilla)
-	if err != nil {
-		return nil, err
-	}
-	return core.Analyze(prog.Mod), nil
-}
-
 // Fig5bInputChannels regenerates Fig. 5(b): the distribution of static
 // input-channel call sites per category.
 func Fig5bInputChannels(cfg *Config) (*report.Table, error) {
@@ -32,10 +22,14 @@ func Fig5bInputChannels(cfg *Config) (*report.Table, error) {
 		Title:   "Input-channel call sites by category",
 		Columns: []string{"benchmark", "total", "print%", "move/copy%", "scan%", "get%", "put%", "map%"},
 	}
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
 	grand := inputchan.Distribution{ByKind: make(map[ir.ChannelKind]int)}
-	for _, p := range cfg.profiles() {
+	for _, p := range ps {
 		p := p
-		vr, err := analyzeProfile(&p)
+		vr, err := cfg.Runner().Analyze(&p)
 		if err != nil {
 			return nil, err
 		}
@@ -64,10 +58,14 @@ func Fig6aVulnerableVars(cfg *Config) (*report.Table, error) {
 		Title:   "Vulnerable variables and branch classes",
 		Columns: []string{"benchmark", "roots", "cpa-vuln%", "pythia-vuln%", "reduction", "direct%", "indirect%", "unaffected%"},
 	}
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
 	var totRoots, totCPA, totPy, totBr, totDir, totInd, totUn int
-	for _, p := range cfg.profiles() {
+	for _, p := range ps {
 		p := p
-		vr, err := analyzeProfile(&p)
+		vr, err := cfg.Runner().Analyze(&p)
 		if err != nil {
 			return nil, err
 		}
@@ -121,10 +119,14 @@ func Fig6bPAInstructions(cfg *Config) (*report.Table, error) {
 		Title:   "ARM-PA instructions: static inserted / dynamic executed",
 		Columns: []string{"benchmark", "cpa-static", "pythia-static", "reduction", "cpa-dyn-sites%", "pythia-dyn-sites%"},
 	}
+	profs, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
 	var totC, totP int
-	for _, p := range cfg.profiles() {
+	for _, p := range profs {
 		p := p
-		rs, err := runSchemes(&p, core.SchemeCPA, core.SchemePythia)
+		rs, err := cfg.Runner().Schemes(&p, core.SchemeCPA, core.SchemePythia)
 		if err != nil {
 			return nil, err
 		}
@@ -163,13 +165,16 @@ func Fig7aPointerBackslice(cfg *Config) (*report.Table, error) {
 		Title:   "Pointer share of backward slices / conditional-branch density",
 		Columns: []string{"benchmark", "lang", "branches", "ptr-in-backslice%", "branch-density%"},
 	}
-	for _, p := range cfg.profiles() {
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range ps {
 		p := p
-		prog, err := workload.Build(&p, core.SchemeVanilla)
+		vr, err := cfg.Runner().Analyze(&p)
 		if err != nil {
 			return nil, err
 		}
-		vr := core.Analyze(prog.Mod)
 		var ptrShare float64
 		n := 0
 		for _, b := range vr.Branches {
@@ -183,7 +188,7 @@ func Fig7aPointerBackslice(cfg *Config) (*report.Table, error) {
 		if n > 0 {
 			ptrShare /= float64(n)
 		}
-		density := 100 * float64(len(vr.Branches)) / float64(prog.Mod.NumInstrs())
+		density := 100 * float64(len(vr.Branches)) / float64(vr.Analysis.Mod.NumInstrs())
 		t.AddRow(p.Name, p.Lang, len(vr.Branches), ptrShare, density)
 	}
 	t.AddNote("paper reports C++ benchmarks (parest, xalancbmk, ...) with the highest pointer shares — the cause of DFI's terminated slices")
@@ -199,12 +204,16 @@ func Fig7bBranchSecurity(cfg *Config) (*report.Table, error) {
 		Title:   "Branches secured (percent)",
 		Columns: []string{"benchmark", "branches", "dfi%", "pythia%", "delta"},
 	}
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
 	var sumD, sumP float64
 	var full19, fullDFI int
 	n := 0
-	for _, p := range cfg.profiles() {
+	for _, p := range ps {
 		p := p
-		vr, err := analyzeProfile(&p)
+		vr, err := cfg.Runner().Analyze(&p)
 		if err != nil {
 			return nil, err
 		}
@@ -243,11 +252,15 @@ func AttackDistance(cfg *Config) (*report.Table, error) {
 		Title:   "Attack distance (static instructions)",
 		Columns: []string{"benchmark", "ic-distance", "dfi-distance", "pythia-distance"},
 	}
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
 	var sumIC, sumD, sumP float64
 	n := 0
-	for _, p := range cfg.profiles() {
+	for _, p := range ps {
 		p := p
-		vr, err := analyzeProfile(&p)
+		vr, err := cfg.Runner().Analyze(&p)
 		if err != nil {
 			return nil, err
 		}
@@ -270,6 +283,9 @@ func AttackDistance(cfg *Config) (*report.Table, error) {
 		sumD += dd / float64(k)
 		sumP += pd / float64(k)
 		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("bench: attackdist: no profile produced an attackable branch to average over")
 	}
 	t.AddNote("average: IC %.2f, DFI %.2f, Pythia %.2f   (paper: IC 83.29, DFI 113.95, Pythia 127.35 LLVM instructions)",
 		sumIC/float64(n), sumD/float64(n), sumP/float64(n))
@@ -307,15 +323,18 @@ func EqBounds(cfg *Config) (*report.Table, error) {
 		Title:   "Analytic bounds (Eq. 1 CPA, Eq. 5 Pythia) vs actual static PA count",
 		Columns: []string{"benchmark", "B", "v", "v'", "eq1-bound", "cpa-actual", "eq5-bound", "pythia-actual"},
 	}
-	for _, p := range cfg.profiles() {
+	ps, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range ps {
 		p := p
-		prog, err := workload.Build(&p, core.SchemeVanilla)
+		vr, err := cfg.Runner().Analyze(&p)
 		if err != nil {
 			return nil, err
 		}
-		vr := core.Analyze(prog.Mod)
 		b := harden.EstimateBounds(vr)
-		rs, err := runSchemes(&p, core.SchemeCPA, core.SchemePythia)
+		rs, err := cfg.Runner().Schemes(&p, core.SchemeCPA, core.SchemePythia)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"strings"
 )
@@ -35,15 +36,22 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Rows may carry more
+// cells than Columns (and vice versa): widths grow to the widest row.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Columns))
+	ncols := len(t.Columns)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -94,12 +102,22 @@ func (t *Table) Markdown() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values.
+// CSV renders the table as RFC-4180 comma-separated values: cells
+// containing commas, quotes, or newlines are quoted. Notes are appended
+// as single-cell records prefixed "# ", so readers configured with
+// Comment = '#' skip them and recover the pure data.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Columns, ",") + "\n")
+	w := csv.NewWriter(&b)
+	w.Write(t.Columns)
 	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ",") + "\n")
+		w.Write(row)
+	}
+	w.Flush()
+	for _, n := range t.Notes {
+		// Raw, not through the csv writer: quoting would hide the '#'
+		// behind a '"' and the line would stop reading as a comment.
+		b.WriteString("# " + strings.ReplaceAll(n, "\n", " ") + "\n")
 	}
 	return b.String()
 }

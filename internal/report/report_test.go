@@ -1,6 +1,7 @@
 package report_test
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 
@@ -54,11 +55,68 @@ func TestMarkdownRendering(t *testing.T) {
 func TestCSVRendering(t *testing.T) {
 	s := sample().CSV()
 	lines := strings.Split(strings.TrimSpace(s), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("csv has %d lines", len(lines))
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines:\n%s", len(lines), s)
 	}
 	if lines[0] != "benchmark,value" || lines[1] != "lbm,13.07" {
 		t.Fatalf("csv content: %v", lines)
+	}
+	if lines[3] != "# average: 41.0" {
+		t.Fatalf("notes must render as comment rows, got %q", lines[3])
+	}
+}
+
+// TestCSVQuotingRoundTrip: cells with commas, quotes, and newlines must
+// survive an encoding/csv round trip (RFC 4180), and note rows must be
+// skipped by a '#'-comment reader so the data parses cleanly.
+func TestCSVQuotingRoundTrip(t *testing.T) {
+	tbl := &report.Table{
+		ID:      "q",
+		Title:   "quoting",
+		Columns: []string{"name", "desc"},
+	}
+	tbl.AddRow("a,b", `say "hi"`)
+	tbl.AddRow("multi\nline", "plain")
+	tbl.AddNote("note with, comma and \"quotes\"")
+
+	r := csv.NewReader(strings.NewReader(tbl.CSV()))
+	r.Comment = '#'
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("generated CSV does not parse: %v\n%s", err, tbl.CSV())
+	}
+	want := [][]string{
+		{"name", "desc"},
+		{"a,b", `say "hi"`},
+		{"multi\nline", "plain"},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("parsed %d records, want %d: %q", len(recs), len(want), recs)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if recs[i][j] != want[i][j] {
+				t.Errorf("record[%d][%d] = %q, want %q", i, j, recs[i][j], want[i][j])
+			}
+		}
+	}
+	// The note is still present for human readers, as a comment row.
+	if !strings.Contains(tbl.CSV(), "# note with, comma") {
+		t.Fatalf("note missing from CSV:\n%s", tbl.CSV())
+	}
+}
+
+// TestStringOverlongRow: AddRow with more cells than Columns used to
+// panic with index out of range in writeRow; it must render every cell.
+func TestStringOverlongRow(t *testing.T) {
+	tbl := &report.Table{ID: "x", Title: "overlong", Columns: []string{"only"}}
+	tbl.AddRow("a", "b", "c")
+	tbl.AddRow("short")
+	s := tbl.String()
+	for _, want := range []string{"only", "a", "b", "c", "short"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
 	}
 }
 

@@ -10,6 +10,12 @@
 // percentages) is *measured* by the pipeline, not scripted.
 package workload
 
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
 // Profile describes one benchmark's generated structure.
 type Profile struct {
 	Name string
@@ -214,6 +220,14 @@ func NginxProfile() Profile {
 		ColdBranches: 60, ColdHostileBr: 0, ColdDeepBr: 3,
 		Wrappers: true,
 	}
+}
+
+// Fingerprint returns a stable digest of every generator knob. Two
+// profiles share a fingerprint iff they generate the same program, so
+// the digest is a sound memoization key for builds, runs, and analyses.
+func (p *Profile) Fingerprint() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", *p)))
+	return hex.EncodeToString(sum[:12])
 }
 
 // ProfileByName returns the named profile, or nil.

@@ -10,6 +10,7 @@
 //	pythia-bench -format markdown
 //	pythia-bench -parallel 4      # pre-warm worker count (0 = GOMAXPROCS)
 //	pythia-bench -json            # one machine-readable JSON document
+//	pythia-bench -cpuprofile cpu.out -memprofile mem.out
 //
 // All (profile, scheme) executions the selected experiments declare are
 // pre-warmed through a shared memoized run cache, so overlapping
@@ -23,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
@@ -63,8 +66,37 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		parallel = flag.Int("parallel", 0, "pre-warm worker pool size (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON document instead of rendered tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+			}
+		}()
+	}
 
 	render, ok := renderers[*format]
 	if !ok {

@@ -125,6 +125,10 @@ var opNames = [...]string{
 	OpChkDef:      "dfi.chkdef",
 }
 
+// NumOps returns the number of defined opcodes — the size cost tables
+// and decode dispatch arrays indexed by Op must have.
+func NumOps() int { return int(opMax) }
+
 func (o Op) String() string {
 	if o <= OpInvalid || int(o) >= len(opNames) {
 		return fmt.Sprintf("op(%d)", int(o))

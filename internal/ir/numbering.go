@@ -1,0 +1,40 @@
+package ir
+
+// Numbering is a dense, stable slot assignment for a function's SSA
+// values: every result-producing instruction gets one index in layout
+// order (blocks in Func order, instructions in block order). The VM's
+// pre-decoded execution engine uses it to replace per-instruction map
+// lookups with flat register-file indexing; unlike Instr.ID it is
+// computed into a detached structure, so taking a numbering never
+// mutates shared IR and is safe to do concurrently with other readers.
+type Numbering struct {
+	count int
+	index map[*Instr]int32
+}
+
+// NumberValues computes the dense value numbering of f.
+func NumberValues(f *Func) *Numbering {
+	n := &Numbering{index: make(map[*Instr]int32, f.NumInstrs())}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasResult() {
+				n.index[in] = int32(n.count)
+				n.count++
+			}
+		}
+	}
+	return n
+}
+
+// Count returns the number of slots assigned.
+func (n *Numbering) Count() int { return n.count }
+
+// SlotOf returns the slot index of in, or (-1, false) when in produces
+// no value or belongs to a different function.
+func (n *Numbering) SlotOf(in *Instr) (int32, bool) {
+	s, ok := n.index[in]
+	if !ok {
+		return -1, false
+	}
+	return s, true
+}

@@ -13,6 +13,7 @@
 package mem
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -46,9 +47,15 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("mem: %s fault at %#x: %s", f.Op, f.Addr, f.Why)
 }
 
-// Memory is a sparse paged byte store.
+// Memory is a sparse paged byte store. A one-entry page cache short-
+// circuits the page-map lookup for the overwhelmingly common case of
+// consecutive accesses landing on the same 4 KiB page (stack frames,
+// buffer fills), so scalar loads/stores on the VM hot path touch the Go
+// map only on page transitions.
 type Memory struct {
-	pages map[uint64]*[pageSize]byte
+	pages    map[uint64]*[pageSize]byte
+	lastBase uint64
+	lastPage *[pageSize]byte
 }
 
 // New returns an empty address space.
@@ -59,15 +66,21 @@ func New() *Memory {
 // Reset drops every page, returning the memory to its initial state.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint64]*[pageSize]byte)
+	m.lastPage = nil
+	m.lastBase = 0
 }
 
 func (m *Memory) page(addr uint64) *[pageSize]byte {
 	base := addr &^ uint64(pageSize-1)
+	if m.lastPage != nil && base == m.lastBase {
+		return m.lastPage
+	}
 	p, ok := m.pages[base]
 	if !ok {
 		p = new([pageSize]byte)
 		m.pages[base] = p
 	}
+	m.lastBase, m.lastPage = base, p
 	return p
 }
 
@@ -101,19 +114,38 @@ func (m *Memory) check(addr uint64, n int, op string) error {
 	return &Fault{Addr: addr, Op: op, Why: "unmapped segment"}
 }
 
-// ReadBytes copies n bytes at addr into a fresh slice.
+// readInto fills out from [addr, addr+len(out)) one page run at a time.
+// The caller has already validated the range with check.
+func (m *Memory) readInto(out []byte, addr uint64) {
+	for i := 0; i < len(out); {
+		a := addr + uint64(i)
+		p := m.page(a)
+		off := int(a % pageSize)
+		i += copy(out[i:], p[off:])
+	}
+}
+
+// writeFrom stores b at addr one page run at a time. The caller has
+// already validated the range with check.
+func (m *Memory) writeFrom(addr uint64, b []byte) {
+	for i := 0; i < len(b); {
+		a := addr + uint64(i)
+		p := m.page(a)
+		off := int(a % pageSize)
+		i += copy(p[off:], b[i:])
+	}
+}
+
+// ReadBytes copies n bytes at addr into a fresh slice. The segment and
+// poison checks run once for the whole range; the copy then proceeds in
+// page runs (segment boundaries are page-aligned, so a per-run re-check
+// would be redundant).
 func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
 	if err := m.check(addr, n, "load"); err != nil {
 		return nil, err
 	}
 	out := make([]byte, n)
-	for i := 0; i < n; {
-		a := addr + uint64(i)
-		p := m.page(a)
-		off := int(a % pageSize)
-		c := copy(out[i:], p[off:])
-		i += c
-	}
+	m.readInto(out, addr)
 	return out, nil
 }
 
@@ -122,47 +154,87 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) error {
 	if err := m.check(addr, len(b), "store"); err != nil {
 		return err
 	}
-	for i := 0; i < len(b); {
-		a := addr + uint64(i)
-		p := m.page(a)
-		off := int(a % pageSize)
-		c := copy(p[off:], b[i:])
-		i += c
-	}
+	m.writeFrom(addr, b)
 	return nil
 }
 
 // ReadUint reads an n-byte little-endian unsigned scalar (n ∈ 1,2,4,8).
+// Scalars that fit inside one page — nearly all of them — decode
+// straight from the page array without allocating.
 func (m *Memory) ReadUint(addr uint64, n int) (uint64, error) {
-	b, err := m.ReadBytes(addr, n)
-	if err != nil {
+	if err := m.check(addr, n, "load"); err != nil {
 		return 0, err
 	}
+	if off := int(addr % pageSize); off+n <= pageSize {
+		p := m.page(addr)
+		switch n {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:]), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:])), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:])), nil
+		case 1:
+			return uint64(p[off]), nil
+		}
+	}
 	var buf [8]byte
-	copy(buf[:], b)
+	m.readInto(buf[:n], addr)
 	return binary.LittleEndian.Uint64(buf[:]), nil
 }
 
 // WriteUint stores an n-byte little-endian scalar.
 func (m *Memory) WriteUint(addr uint64, v uint64, n int) error {
+	if err := m.check(addr, n, "store"); err != nil {
+		return err
+	}
+	if off := int(addr % pageSize); off+n <= pageSize {
+		p := m.page(addr)
+		switch n {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return nil
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return nil
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return nil
+		case 1:
+			p[off] = byte(v)
+			return nil
+		}
+	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
-	return m.WriteBytes(addr, buf[:n])
+	m.writeFrom(addr, buf[:n])
+	return nil
 }
 
 // ReadCString reads a NUL-terminated string starting at addr, bounded by
-// max bytes (a safety net for runaway simulated strings).
+// max bytes (a safety net for runaway simulated strings). It scans one
+// page run at a time with a single access check per run rather than a
+// check per byte; when no NUL appears within max bytes the accumulated
+// prefix is returned, matching the historical byte-at-a-time behaviour.
 func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
 	var out []byte
-	for i := 0; i < max; i++ {
-		b, err := m.ReadBytes(addr+uint64(i), 1)
-		if err != nil {
+	for i := 0; i < max; {
+		a := addr + uint64(i)
+		if err := m.check(a, 1, "load"); err != nil {
 			return "", err
 		}
-		if b[0] == 0 {
-			return string(out), nil
+		p := m.page(a)
+		off := int(a % pageSize)
+		run := pageSize - off
+		if rem := max - i; run > rem {
+			run = rem
 		}
-		out = append(out, b[0])
+		chunk := p[off : off+run]
+		if j := bytes.IndexByte(chunk, 0); j >= 0 {
+			return string(append(out, chunk[:j]...)), nil
+		}
+		out = append(out, chunk...)
+		i += run
 	}
 	return string(out), nil
 }

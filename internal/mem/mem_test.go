@@ -163,3 +163,93 @@ func TestResetAndFootprint(t *testing.T) {
 		t.Fatal("fresh page should read zero")
 	}
 }
+
+func TestScalarAcrossPageBoundary(t *testing.T) {
+	// Scalars that straddle a 4 KiB boundary must take the multi-page
+	// slow path and still round-trip (regression test for the
+	// single-page fast path in ReadUint/WriteUint).
+	m := mem.New()
+	for _, n := range []int{2, 4, 8} {
+		for back := 1; back < n; back++ {
+			addr := mem.SharedBase + 4096 - uint64(back)
+			want := uint64(0x1122334455667788)
+			if err := m.WriteUint(addr, want, n); err != nil {
+				t.Fatalf("write n=%d back=%d: %v", n, back, err)
+			}
+			got, err := m.ReadUint(addr, n)
+			if err != nil {
+				t.Fatalf("read n=%d back=%d: %v", n, back, err)
+			}
+			mask := ^uint64(0)
+			if n < 8 {
+				mask = (1 << uint(8*n)) - 1
+			}
+			if got != want&mask {
+				t.Fatalf("n=%d back=%d: got %#x want %#x", n, back, got, want&mask)
+			}
+			// The bytes on each side of the boundary must match the
+			// little-endian encoding, not just the re-read.
+			b, err := m.ReadBytes(addr, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if b[i] != byte(want>>(8*uint(i))) {
+					t.Fatalf("n=%d back=%d byte %d = %#x", n, back, i, b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBytesSpanStopsAtSegmentEnd(t *testing.T) {
+	// A range crossing out of its segment must fault up front — the
+	// single range check must be as strict as the old per-byte walk.
+	m := mem.New()
+	addr := mem.GlobalLimit - 8
+	if err := m.WriteBytes(addr, make([]byte, 16)); err == nil {
+		t.Fatal("write spanning past the global segment should fault")
+	}
+	if _, err := m.ReadBytes(addr, 16); err == nil {
+		t.Fatal("read spanning past the global segment should fault")
+	}
+	// The in-segment prefix alone is fine.
+	if err := m.WriteBytes(addr, make([]byte, 8)); err != nil {
+		t.Fatalf("in-segment write: %v", err)
+	}
+}
+
+func TestReadCStringAcrossPages(t *testing.T) {
+	// A string whose NUL lives on a later page exercises the page-run
+	// scan in ReadCString.
+	m := mem.New()
+	long := bytes.Repeat([]byte{'x'}, 5000)
+	addr := mem.SharedBase + 4000 // starts near a page boundary
+	if err := m.WriteBytes(addr, append(long, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.ReadCString(addr, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != len(long) {
+		t.Fatalf("len = %d, want %d", len(s), len(long))
+	}
+}
+
+func TestPageCacheInvalidatedByReset(t *testing.T) {
+	// The one-entry page cache must not resurrect a page dropped by
+	// Reset.
+	m := mem.New()
+	if err := m.WriteUint(mem.SharedBase, 42, 8); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadUint(mem.SharedBase, 8); v != 42 {
+		t.Fatal("warm-up read failed")
+	}
+	m.Reset()
+	v, err := m.ReadUint(mem.SharedBase, 8)
+	if err != nil || v != 0 {
+		t.Fatalf("post-reset read = %d, %v; want 0", v, err)
+	}
+}

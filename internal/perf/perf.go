@@ -92,56 +92,101 @@ type Meter struct {
 	M     *Model
 	C     *Counters
 	Cache *Cache
+
+	// costs is the per-opcode cost table OnInstr dispatches through: one
+	// precomputed entry per ir.Op, so the VM's hot loop pays an array
+	// index instead of re-deriving the expansion arithmetic per retired
+	// instruction. The entries reproduce the historical switch exactly,
+	// including its float-addition order (cyc2 is a *separate* addition,
+	// matching the old two-step condbr charge), so cycle counts stay
+	// bit-identical.
+	costs []opCost
+}
+
+// opCost is the precomputed effect of retiring one instruction of an
+// opcode: counter increments plus one or two cycle additions.
+type opCost struct {
+	instrs   int64
+	pa       int64
+	canary   int64
+	dfi      int64
+	branches int64
+	calls    int64
+	cyc      float64
+	cyc2     float64 // added separately when twoStep (condbr penalty)
+	twoStep  bool
 }
 
 // NewMeter returns a meter with a fresh cache and counters.
 func NewMeter(m *Model) *Meter {
-	return &Meter{M: m, C: &Counters{}, Cache: NewCache(512, 8, 64)}
+	return &Meter{M: m, C: &Counters{}, Cache: NewCache(512, 8, 64), costs: buildCosts(m)}
+}
+
+// buildCosts precomputes the OnInstr cost entry for every opcode.
+func buildCosts(m *Model) []opCost {
+	costs := make([]opCost, ir.NumOps())
+	for i := range costs {
+		op := ir.Op(i)
+		e := &costs[i]
+		switch {
+		case op == ir.OpCanarySet:
+			// Canary refresh = RNG library call + pacga + store (§5:
+			// "populated with C++ random number generator with a library
+			// call at each invocation").
+			e.canary, e.pa = 1, 1
+			e.instrs = int64(m.CanaryExpand)
+			e.cyc = m.CanaryExpand/m.RetireWidth + m.CanaryRNGCost
+		case op == ir.OpCanaryCheck:
+			e.canary, e.pa = 1, 1
+			e.instrs = int64(m.PAExpand)
+			e.cyc = m.PAExpand/m.RetireWidth + m.PACExtra
+		case op.IsPA():
+			e.pa = 1
+			e.instrs = int64(m.PAExpand)
+			e.cyc = m.PAExpand/m.RetireWidth + m.PACExtra
+		case op == ir.OpSetDef:
+			e.dfi = 1
+			e.instrs = int64(m.DFISetExpand)
+			e.cyc = m.DFISetExpand/m.RetireWidth + m.DFIExtra
+		case op == ir.OpChkDef:
+			e.dfi = 1
+			e.instrs = int64(m.DFIChkExpand)
+			e.cyc = m.DFIChkExpand/m.RetireWidth + m.DFIExtra
+		case op == ir.OpCondBr:
+			e.instrs, e.branches = 1, 1
+			e.cyc = 1 / m.RetireWidth
+			e.cyc2, e.twoStep = m.BranchPenalty, true
+		case op == ir.OpBr:
+			e.instrs, e.branches = 1, 1
+			e.cyc = 1 / m.RetireWidth
+		case op == ir.OpCall:
+			e.instrs, e.calls = 1, 1
+			e.cyc = 1/m.RetireWidth + m.CallOverhead
+		default:
+			e.instrs = 1
+			e.cyc = 1 / m.RetireWidth
+		}
+	}
+	return costs
 }
 
 // OnInstr charges one retired instruction (or, for hardening ops, the
 // machine sequence it expands to) of the given opcode.
 func (t *Meter) OnInstr(op ir.Op) {
-	switch {
-	case op == ir.OpCanarySet:
-		// Canary refresh = RNG library call + pacga + store (§5:
-		// "populated with C++ random number generator with a library
-		// call at each invocation").
-		t.C.CanaryOps++
-		t.C.PAInstrs++
-		t.C.Instrs += int64(t.M.CanaryExpand)
-		t.C.Cycles += t.M.CanaryExpand/t.M.RetireWidth + t.M.CanaryRNGCost
-	case op == ir.OpCanaryCheck:
-		t.C.CanaryOps++
-		t.C.PAInstrs++
-		t.C.Instrs += int64(t.M.PAExpand)
-		t.C.Cycles += t.M.PAExpand/t.M.RetireWidth + t.M.PACExtra
-	case op.IsPA():
-		t.C.PAInstrs++
-		t.C.Instrs += int64(t.M.PAExpand)
-		t.C.Cycles += t.M.PAExpand/t.M.RetireWidth + t.M.PACExtra
-	case op == ir.OpSetDef:
-		t.C.DFIOps++
-		t.C.Instrs += int64(t.M.DFISetExpand)
-		t.C.Cycles += t.M.DFISetExpand/t.M.RetireWidth + t.M.DFIExtra
-	case op == ir.OpChkDef:
-		t.C.DFIOps++
-		t.C.Instrs += int64(t.M.DFIChkExpand)
-		t.C.Cycles += t.M.DFIChkExpand/t.M.RetireWidth + t.M.DFIExtra
-	case op == ir.OpCondBr || op == ir.OpBr:
-		t.C.Instrs++
-		t.C.Cycles += 1 / t.M.RetireWidth
-		t.C.Branches++
-		if op == ir.OpCondBr {
-			t.C.Cycles += t.M.BranchPenalty
-		}
-	case op == ir.OpCall:
-		t.C.Instrs++
-		t.C.Cycles += 1/t.M.RetireWidth + t.M.CallOverhead
-		t.C.Calls++
-	default:
-		t.C.Instrs++
-		t.C.Cycles += 1 / t.M.RetireWidth
+	if op < 0 || int(op) >= len(t.costs) {
+		op = ir.OpInvalid // unknown opcodes charge the default entry
+	}
+	e := &t.costs[op]
+	c := t.C
+	c.Instrs += e.instrs
+	c.PAInstrs += e.pa
+	c.CanaryOps += e.canary
+	c.DFIOps += e.dfi
+	c.Branches += e.branches
+	c.Calls += e.calls
+	c.Cycles += e.cyc
+	if e.twoStep {
+		c.Cycles += e.cyc2
 	}
 }
 

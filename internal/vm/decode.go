@@ -1,0 +1,361 @@
+package vm
+
+// The decoder lowers a function once per machine into a flat, directly
+// executable form: every result-producing instruction gets a dense slot
+// in a flat register file (ir.NumberValues), every operand is resolved
+// to a {slot, constant, parameter} triple (globals fold to their laid-
+// out addresses), GEPs fold their constant offsets, and access widths /
+// masks are precomputed. The engine (engine.go) then dispatches over
+// these arrays with no IR or map traffic on the hot path.
+//
+// Replacing the per-frame value map with zero-initialized slots is only
+// sound when every use is provably executed after its def; the IR
+// verifier does not check dominance, so a malformed function could read
+// an undefined value — a condition the reference interpreter reports as
+// a runtime fault. The decoder therefore proves def-before-use with a
+// dominance analysis and routes any function it cannot prove to the
+// reference interpreter (refOnly), keeping fault behaviour identical at
+// zero cost to well-formed code.
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// operand is a pre-resolved instruction input.
+type operand struct {
+	kind opdKind
+	idx  int32  // slot index (opdSlot) or parameter index (opdParam)
+	val  uint64 // literal value (opdConst: constants and global addresses)
+}
+
+type opdKind uint8
+
+const (
+	opdSlot opdKind = iota
+	opdConst
+	opdParam
+)
+
+// opFall is the sentinel opcode appended to every decoded block; it only
+// executes when control falls off the end of a block without reaching a
+// terminator, which the reference interpreter reports as a runtime fault.
+const opFall = ir.Op(-1)
+
+// dgepTerm is one dynamic index term of a folded GEP.
+type dgepTerm struct {
+	opd   operand
+	scale int64
+}
+
+// dgep is a GEP lowered to base + constOff + Σ idx·scale. Address
+// arithmetic wraps mod 2^64 and is commutative, so folding every
+// constant index into constOff is exact. generic marks the rare shapes
+// the fold cannot handle (non-constant struct index, out-of-range field,
+// non-pointer base, gep into scalar); those re-run the type walk at
+// execution time so faults match the reference interpreter.
+type dgep struct {
+	constOff uint64
+	dyn      []dgepTerm
+	generic  bool
+}
+
+// dinstr is one decoded instruction.
+type dinstr struct {
+	op     ir.Op
+	dst    int32 // result slot, -1 when none
+	site   int32 // hardening-site index for first-hit tracking, -1 otherwise
+	succ0  int32 // br/condbr target block indices
+	succ1  int32
+	size   int    // load/store width; sext source width
+	umask  uint64 // trunc/zext mask
+	aux    int64  // alloca frame offset, -1 when missing from the plan
+	pred   ir.Pred
+	args   []operand
+	gep    *dgep
+	callee *ir.Func
+	in     *ir.Instr // original instruction (trace, faults, DFI metadata)
+}
+
+// dphi is one decoded phi: incoming edges as (pred block index, operand).
+type dphi struct {
+	dst   int32
+	in    *ir.Instr
+	preds []int32
+	vals  []operand
+}
+
+// dblock is one decoded basic block.
+type dblock struct {
+	b    *ir.Block
+	phis []dphi
+	code []dinstr
+}
+
+// dfunc is the decoded form of one function under one machine.
+type dfunc struct {
+	f         *ir.Func
+	planSrc   *ir.StackPlan // f.Plan observed at decode; re-decode when it changes
+	plan      *ir.StackPlan
+	frameSize int64
+	nslots    int
+	maxPhis   int // phi scratch slots appended after the value slots
+	blocks    []dblock
+
+	// siteSeen is the fast already-counted filter per hardening site;
+	// the first hit also records the instruction in m.siteHits so
+	// SitesExecuted is computed identically for both engines.
+	siteSeen []bool
+
+	// refOnly routes this function to the reference interpreter: the
+	// decoder could not prove def-before-use (or met an operand kind it
+	// cannot resolve), so lazy undefined-value faults must be preserved.
+	refOnly bool
+}
+
+// decodedFunc returns the cached decoding of f, refreshing it when a
+// hardening pass installed a new stack plan since the last decode.
+func (m *Machine) decodedFunc(f *ir.Func) *dfunc {
+	if d, ok := m.decoded[f]; ok && d.planSrc == f.Plan {
+		return d
+	}
+	d := m.decode(f)
+	m.decoded[f] = d
+	return d
+}
+
+// opWritesResult reports the opcodes whose decoded execution writes dst
+// unconditionally; an instruction of one of these with no result slot
+// (nameless or void-typed) is decodable only by the reference path.
+func opWritesResult(op ir.Op) bool {
+	switch op {
+	case ir.OpAlloca, ir.OpLoad, ir.OpGEP, ir.OpICmp, ir.OpSelect,
+		ir.OpPacSign, ir.OpPacAuth, ir.OpPacStrip, ir.OpCheckLoad:
+		return true
+	}
+	return op.IsBinOp() || op.IsCast()
+}
+
+// decode lowers f for execution under this machine.
+func (m *Machine) decode(f *ir.Func) *dfunc {
+	d := &dfunc{f: f, planSrc: f.Plan}
+	d.plan = m.planOf(f)
+	d.frameSize = frameSize(d.plan)
+
+	num := ir.NumberValues(f)
+	d.nslots = num.Count()
+	g := cfg.New(f)
+
+	blockIdx := make(map[*ir.Block]int32, len(f.Blocks))
+	for i, b := range f.Blocks {
+		blockIdx[b] = int32(i)
+	}
+	// pos gives each instruction's index within its block, for the
+	// same-block def-before-use check.
+	pos := make(map[*ir.Instr]int, f.NumInstrs())
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			pos[in] = i
+		}
+	}
+
+	// safeUse reports whether a use at (ub, ui) is always executed after
+	// def: same block and textually earlier, or the def's block strictly
+	// dominates the use's. Uses in unreachable blocks never execute.
+	safeUse := func(def *ir.Instr, ub *ir.Block, ui int) bool {
+		db := def.Block
+		if db == nil {
+			return false
+		}
+		if !g.Reachable(ub) {
+			return true
+		}
+		if db == ub {
+			return pos[def] < ui
+		}
+		return g.Dominates(db, ub)
+	}
+
+	// decodeVal resolves one operand of the instruction at (ub, ui).
+	decodeVal := func(v ir.Value, ub *ir.Block, ui int) operand {
+		switch x := v.(type) {
+		case *ir.Const:
+			return operand{kind: opdConst, val: uint64(x.Val)}
+		case *ir.Global:
+			return operand{kind: opdConst, val: m.globalAddrs[x]}
+		case *ir.Param:
+			return operand{kind: opdParam, idx: int32(x.Index)}
+		case *ir.Instr:
+			slot, ok := num.SlotOf(x)
+			if !ok || !safeUse(x, ub, ui) {
+				d.refOnly = true
+				return operand{}
+			}
+			return operand{kind: opdSlot, idx: slot}
+		default:
+			d.refOnly = true
+			return operand{}
+		}
+	}
+
+	// decodePhiVal resolves a phi edge's value: the def must dominate the
+	// predecessor block (non-strictly — a def inside the predecessor
+	// itself runs before its terminator takes the edge).
+	decodePhiVal := func(v ir.Value, phiB, predB *ir.Block) operand {
+		x, isInstr := v.(*ir.Instr)
+		if !isInstr {
+			return decodeVal(v, phiB, 0)
+		}
+		slot, ok := num.SlotOf(x)
+		if !ok || x.Block == nil ||
+			(g.Reachable(phiB) && g.Reachable(predB) && !g.Dominates(x.Block, predB)) {
+			d.refOnly = true
+			return operand{}
+		}
+		return operand{kind: opdSlot, idx: slot}
+	}
+
+	nsites := 0
+	d.blocks = make([]dblock, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		db := &d.blocks[bi]
+		db.b = b
+		phis := b.Phis()
+		if len(phis) > d.maxPhis {
+			d.maxPhis = len(phis)
+		}
+		for _, p := range phis {
+			dst, ok := num.SlotOf(p)
+			if !ok {
+				d.refOnly = true
+			}
+			dp := dphi{dst: dst, in: p}
+			for _, e := range p.Incoming {
+				pi, known := blockIdx[e.Pred]
+				if !known {
+					pi = -2 // matches no predecessor, including entry (-1)
+				}
+				dp.preds = append(dp.preds, pi)
+				dp.vals = append(dp.vals, decodePhiVal(e.Val, b, e.Pred))
+			}
+			db.phis = append(db.phis, dp)
+		}
+
+		db.code = make([]dinstr, 0, len(b.Instrs)-len(phis)+1)
+		for ii := len(phis); ii < len(b.Instrs); ii++ {
+			db.code = append(db.code, m.decodeInstr(d, num, blockIdx, decodeVal, b, ii, &nsites))
+		}
+		db.code = append(db.code, dinstr{op: opFall, dst: -1, site: -1})
+	}
+	d.siteSeen = make([]bool, nsites)
+	return d
+}
+
+// decodeInstr lowers the instruction at b.Instrs[ii].
+func (m *Machine) decodeInstr(d *dfunc, num *ir.Numbering, blockIdx map[*ir.Block]int32,
+	decodeVal func(ir.Value, *ir.Block, int) operand, b *ir.Block, ii int, nsites *int) dinstr {
+
+	in := b.Instrs[ii]
+	di := dinstr{op: in.Op, dst: -1, site: -1, aux: -1, pred: in.Pred, in: in}
+	if in.HasResult() {
+		if s, ok := num.SlotOf(in); ok {
+			di.dst = s
+		} else {
+			d.refOnly = true
+		}
+	}
+	if di.dst < 0 && opWritesResult(in.Op) {
+		d.refOnly = true
+	}
+	if in.Op.IsHardening() {
+		di.site = int32(*nsites)
+		*nsites++
+	}
+	if len(in.Args) > 0 {
+		di.args = make([]operand, len(in.Args))
+		for i, a := range in.Args {
+			di.args[i] = decodeVal(a, b, ii)
+		}
+	}
+
+	switch in.Op {
+	case ir.OpAlloca:
+		if s := d.plan.SlotFor(in); s != nil {
+			di.aux = s.Offset
+		}
+	case ir.OpLoad:
+		di.size = int(in.Typ.Size())
+	case ir.OpStore:
+		di.size = int(in.Args[0].Type().Size())
+	case ir.OpTrunc:
+		di.umask = widthMask(in.Typ)
+	case ir.OpZExt:
+		di.umask = widthMask(in.Args[0].Type())
+	case ir.OpSExt:
+		di.size = int(in.Args[0].Type().Size())
+	case ir.OpGEP:
+		di.gep = decodeGEP(in, di.args)
+	case ir.OpCall:
+		di.callee = in.Callee
+	case ir.OpBr:
+		s0, ok := blockIdx[in.Succs[0]]
+		if !ok {
+			d.refOnly = true
+		}
+		di.succ0 = s0
+	case ir.OpCondBr:
+		s0, ok0 := blockIdx[in.Succs[0]]
+		s1, ok1 := blockIdx[in.Succs[1]]
+		if !ok0 || !ok1 {
+			d.refOnly = true
+		}
+		di.succ0, di.succ1 = s0, s1
+	}
+	return di
+}
+
+// decodeGEP folds a GEP's type walk at decode time (see dgep).
+func decodeGEP(in *ir.Instr, args []operand) *dgep {
+	g := &dgep{}
+	pt, ok := in.Args[0].Type().(*ir.PtrType)
+	if !ok {
+		g.generic = true
+		return g
+	}
+	t := pt.Elem
+	add := func(o operand, scale int64) {
+		if o.kind == opdConst {
+			g.constOff += uint64(int64(o.val) * scale)
+		} else {
+			g.dyn = append(g.dyn, dgepTerm{opd: o, scale: scale})
+		}
+	}
+	// First index scales by the pointee size.
+	add(args[1], t.Size())
+	for i := 2; i < len(in.Args); i++ {
+		switch ct := t.(type) {
+		case *ir.ArrayType:
+			add(args[i], ct.Elem.Size())
+			t = ct.Elem
+		case *ir.StructType:
+			o := args[i]
+			if o.kind != opdConst {
+				g.generic = true
+				return g
+			}
+			idx := int64(o.val)
+			if idx < 0 || int(idx) >= len(ct.Fields) {
+				g.generic = true
+				return g
+			}
+			g.constOff += uint64(ct.Offset(int(idx)))
+			t = ct.Fields[idx].Type
+		default:
+			// gep into scalar: the generic path reproduces the runtime
+			// fault with the type reached at that point.
+			g.generic = true
+			return g
+		}
+	}
+	return g
+}

@@ -96,7 +96,7 @@ func (m *Machine) dfiMarkRange(addr uint64, n int, id int) {
 }
 
 // writeBytesMetered stores b at addr charging the meter per cache line.
-func (m *Machine) writeBytesMetered(fr *frame, in *ir.Instr, addr uint64, b []byte) {
+func (m *Machine) writeBytesMetered(f *ir.Func, in *ir.Instr, addr uint64, b []byte) {
 	step := 8
 	for i := 0; i < len(b); i += step {
 		m.Meter.OnStore(addr + uint64(i))
@@ -104,12 +104,12 @@ func (m *Machine) writeBytesMetered(fr *frame, in *ir.Instr, addr uint64, b []by
 		m.Meter.C.Cycles += 1 / m.Meter.M.RetireWidth
 	}
 	if err := m.Mem.WriteBytes(addr, b); err != nil {
-		panic(m.fault(FaultSegv, fr.f, in, err))
+		panic(m.fault(FaultSegv, f, in, err))
 	}
 }
 
 // readBytesMetered loads n bytes charging the meter.
-func (m *Machine) readBytesMetered(fr *frame, in *ir.Instr, addr uint64, n int) []byte {
+func (m *Machine) readBytesMetered(f *ir.Func, in *ir.Instr, addr uint64, n int) []byte {
 	step := 8
 	for i := 0; i < n; i += step {
 		m.Meter.OnLoad(addr + uint64(i))
@@ -118,15 +118,15 @@ func (m *Machine) readBytesMetered(fr *frame, in *ir.Instr, addr uint64, n int) 
 	}
 	b, err := m.Mem.ReadBytes(addr, n)
 	if err != nil {
-		panic(m.fault(FaultSegv, fr.f, in, err))
+		panic(m.fault(FaultSegv, f, in, err))
 	}
 	return b
 }
 
-func (m *Machine) cstring(fr *frame, in *ir.Instr, addr uint64) string {
+func (m *Machine) cstring(f *ir.Func, in *ir.Instr, addr uint64) string {
 	s, err := m.Mem.ReadCString(addr, 1<<20)
 	if err != nil {
-		panic(m.fault(FaultSegv, fr.f, in, err))
+		panic(m.fault(FaultSegv, f, in, err))
 	}
 	return s
 }
@@ -134,7 +134,7 @@ func (m *Machine) cstring(fr *frame, in *ir.Instr, addr uint64) string {
 // intrinsic dispatches a call to a body-less declaration. The set covers
 // the libc surface the paper's listings and benchmarks use, the malloc
 // family (including Pythia's secure_malloc), and small pure helpers.
-func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uint64) (uint64, error) {
+func (m *Machine) intrinsic(f *ir.Func, in *ir.Instr, callee *ir.Func, args []uint64) (uint64, error) {
 	id := callDefID(in)
 	switch callee.FName {
 	// ---- allocation ----
@@ -148,7 +148,7 @@ func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uin
 			return 0, nil // C malloc returns NULL on exhaustion
 		}
 		if callee.FName == "calloc" {
-			m.writeBytesMetered(fr, in, addr, make([]byte, size))
+			m.writeBytesMetered(f, in, addr, make([]byte, size))
 		}
 		return addr, nil
 	case "secure_malloc":
@@ -161,7 +161,7 @@ func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uin
 	case "free":
 		if args[0] != 0 {
 			if err := m.Heap.Free(args[0]); err != nil {
-				return 0, m.fault(FaultRuntime, fr.f, in, err)
+				return 0, m.fault(FaultRuntime, f, in, err)
 			}
 		}
 		return 0, nil
@@ -175,17 +175,17 @@ func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uin
 		}
 		naddr, oldSize, err := m.Heap.Realloc(args[0], int64(args[1]))
 		if err != nil {
-			return 0, m.fault(FaultRuntime, fr.f, in, err)
+			return 0, m.fault(FaultRuntime, f, in, err)
 		}
 		if naddr != args[0] {
 			n := oldSize
 			if int64(args[1]) < n {
 				n = int64(args[1])
 			}
-			b := m.readBytesMetered(fr, in, args[0], int(n))
-			m.writeBytesMetered(fr, in, naddr, b)
+			b := m.readBytesMetered(f, in, args[0], int(n))
+			m.writeBytesMetered(f, in, naddr, b)
 			if err := m.Heap.Free(args[0]); err != nil {
-				return 0, m.fault(FaultRuntime, fr.f, in, err)
+				return 0, m.fault(FaultRuntime, f, in, err)
 			}
 		}
 		return naddr, nil
@@ -199,27 +199,27 @@ func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uin
 
 	// ---- put / move-copy channels ----
 	case "strcpy":
-		src := m.cstring(fr, in, args[1])
+		src := m.cstring(f, in, args[1])
 		buf := append([]byte(src), 0)
-		m.writeBytesMetered(fr, in, args[0], buf)
+		m.writeBytesMetered(f, in, args[0], buf)
 		m.dfiMarkRange(args[0], len(buf), id)
 		return args[0], nil
 	case "strcat":
-		dst := m.cstring(fr, in, args[0])
-		src := m.cstring(fr, in, args[1])
+		dst := m.cstring(f, in, args[0])
+		src := m.cstring(f, in, args[1])
 		buf := append([]byte(src), 0)
-		m.writeBytesMetered(fr, in, args[0]+uint64(len(dst)), buf)
+		m.writeBytesMetered(f, in, args[0]+uint64(len(dst)), buf)
 		m.dfiMarkRange(args[0]+uint64(len(dst)), len(buf), id)
 		return args[0], nil
 	case "strncpy", "sstrncpy":
-		src := m.cstring(fr, in, args[1])
+		src := m.cstring(f, in, args[1])
 		n := int(int64(args[2]))
 		if n < 0 {
 			n = 0
 		}
 		buf := make([]byte, n)
 		copy(buf, src)
-		m.writeBytesMetered(fr, in, args[0], buf)
+		m.writeBytesMetered(f, in, args[0], buf)
 		m.dfiMarkRange(args[0], len(buf), id)
 		return args[0], nil
 	case "memcpy", "memmove":
@@ -227,8 +227,8 @@ func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uin
 		if n < 0 {
 			n = 0
 		}
-		b := m.readBytesMetered(fr, in, args[1], n)
-		m.writeBytesMetered(fr, in, args[0], b)
+		b := m.readBytesMetered(f, in, args[1], n)
+		m.writeBytesMetered(f, in, args[0], b)
 		m.dfiMarkRange(args[0], n, id)
 		return args[0], nil
 	case "memset":
@@ -240,14 +240,14 @@ func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uin
 		for i := range b {
 			b[i] = byte(args[1])
 		}
-		m.writeBytesMetered(fr, in, args[0], b)
+		m.writeBytesMetered(f, in, args[0], b)
 		m.dfiMarkRange(args[0], n, id)
 		return args[0], nil
 
 	// ---- get / scan channels ----
 	case "gets":
 		line := append(m.Stdin.ReadLine(), 0)
-		m.writeBytesMetered(fr, in, args[0], line)
+		m.writeBytesMetered(f, in, args[0], line)
 		m.dfiMarkRange(args[0], len(line), id)
 		return args[0], nil
 	case "fgets":
@@ -257,61 +257,61 @@ func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uin
 			line = line[:n-1]
 		}
 		buf := append(append([]byte(nil), line...), 0)
-		m.writeBytesMetered(fr, in, args[0], buf)
+		m.writeBytesMetered(f, in, args[0], buf)
 		m.dfiMarkRange(args[0], len(buf), id)
 		return args[0], nil
 	case "read":
 		// read(fd, buf, n) — fd ignored; bounded by n.
 		n := int(int64(args[2]))
 		b := m.Stdin.ReadN(n)
-		m.writeBytesMetered(fr, in, args[1], b)
+		m.writeBytesMetered(f, in, args[1], b)
 		m.dfiMarkRange(args[1], len(b), id)
 		return uint64(len(b)), nil
 	case "scanf":
-		return m.scanf(fr, in, args, id)
+		return m.scanf(f, in, args, id)
 
 	// ---- print channels ----
 	case "printf":
-		s := m.formatPrintf(fr, in, args)
+		s := m.formatPrintf(f, in, args)
 		m.Stdout = append(m.Stdout, s...)
 		return uint64(len(s)), nil
 	case "puts":
-		s := m.cstring(fr, in, args[0])
+		s := m.cstring(f, in, args[0])
 		m.Stdout = append(m.Stdout, s...)
 		m.Stdout = append(m.Stdout, '\n')
 		return uint64(len(s) + 1), nil
 	case "sprintf":
-		s := m.formatPrintf(fr, in, args[1:])
+		s := m.formatPrintf(f, in, args[1:])
 		buf := append([]byte(s), 0)
-		m.writeBytesMetered(fr, in, args[0], buf)
+		m.writeBytesMetered(f, in, args[0], buf)
 		m.dfiMarkRange(args[0], len(buf), id)
 		return uint64(len(s)), nil
 
 	case "strdup":
-		src := m.cstring(fr, in, args[0])
+		src := m.cstring(f, in, args[0])
 		addr, err := m.Heap.Malloc(int64(len(src) + 1))
 		if err != nil {
 			return 0, nil
 		}
-		m.writeBytesMetered(fr, in, addr, append([]byte(src), 0))
+		m.writeBytesMetered(f, in, addr, append([]byte(src), 0))
 		m.dfiMarkRange(addr, len(src)+1, id)
 		return addr, nil
 	case "snprintf":
 		n := int(int64(args[1]))
-		s := m.formatPrintf(fr, in, append([]uint64{args[2]}, args[3:]...))
+		s := m.formatPrintf(f, in, append([]uint64{args[2]}, args[3:]...))
 		full := len(s)
 		if n > 0 && len(s) > n-1 {
 			s = s[:n-1]
 		}
 		if n > 0 {
-			m.writeBytesMetered(fr, in, args[0], append([]byte(s), 0))
+			m.writeBytesMetered(f, in, args[0], append([]byte(s), 0))
 			m.dfiMarkRange(args[0], len(s)+1, id)
 		}
 		return uint64(full), nil
 
 	// ---- pure string/number helpers ----
 	case "strchr":
-		s := m.cstring(fr, in, args[0])
+		s := m.cstring(f, in, args[0])
 		for i := 0; i < len(s); i++ {
 			if s[i] == byte(args[1]) {
 				return args[0] + uint64(i), nil
@@ -319,21 +319,21 @@ func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uin
 		}
 		return 0, nil
 	case "strstr":
-		s := m.cstring(fr, in, args[0])
-		sub := m.cstring(fr, in, args[1])
+		s := m.cstring(f, in, args[0])
+		sub := m.cstring(f, in, args[1])
 		if i := strings.Index(s, sub); i >= 0 {
 			return args[0] + uint64(i), nil
 		}
 		return 0, nil
 	case "strlen":
-		return uint64(len(m.cstring(fr, in, args[0]))), nil
+		return uint64(len(m.cstring(f, in, args[0]))), nil
 	case "strcmp":
-		a := m.cstring(fr, in, args[0])
-		b := m.cstring(fr, in, args[1])
+		a := m.cstring(f, in, args[0])
+		b := m.cstring(f, in, args[1])
 		return uint64(int64(strings.Compare(a, b))), nil
 	case "strncmp":
-		a := m.cstring(fr, in, args[0])
-		b := m.cstring(fr, in, args[1])
+		a := m.cstring(f, in, args[0])
+		b := m.cstring(f, in, args[1])
 		n := int(int64(args[2]))
 		if len(a) > n {
 			a = a[:n]
@@ -343,7 +343,7 @@ func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uin
 		}
 		return uint64(int64(strings.Compare(a, b))), nil
 	case "atoi":
-		v, _ := strconv.ParseInt(strings.TrimSpace(m.cstring(fr, in, args[0])), 10, 64)
+		v, _ := strconv.ParseInt(strings.TrimSpace(m.cstring(f, in, args[0])), 10, 64)
 		return uint64(v), nil
 	case "abs":
 		v := int64(args[0])
@@ -354,15 +354,15 @@ func (m *Machine) intrinsic(fr *frame, in *ir.Instr, callee *ir.Func, args []uin
 	case "rand":
 		return uint64(m.rng.Int63n(1 << 31)), nil
 	case "exit":
-		return 0, m.fault(FaultRuntime, fr.f, in, fmt.Errorf("exit(%d)", int64(args[0])))
+		return 0, m.fault(FaultRuntime, f, in, fmt.Errorf("exit(%d)", int64(args[0])))
 	}
 	return 0, fmt.Errorf("vm: unknown intrinsic @%s", callee.FName)
 }
 
 // scanf supports %d, %ld and %s conversions — the forms the paper's
 // listings use. %s is the unbounded overflow vector.
-func (m *Machine) scanf(fr *frame, in *ir.Instr, args []uint64, id int) (uint64, error) {
-	format := m.cstring(fr, in, args[0])
+func (m *Machine) scanf(f *ir.Func, in *ir.Instr, args []uint64, id int) (uint64, error) {
+	format := m.cstring(f, in, args[0])
 	argi := 1
 	converted := uint64(0)
 	for i := 0; i < len(format); i++ {
@@ -382,14 +382,14 @@ func (m *Machine) scanf(fr *frame, in *ir.Instr, args []uint64, id int) (uint64,
 			v, _ := strconv.ParseInt(tok, 10, 64)
 			m.Meter.OnStore(args[argi])
 			if err := m.Mem.WriteUint(args[argi], uint64(v), 8); err != nil {
-				return converted, m.fault(FaultSegv, fr.f, in, err)
+				return converted, m.fault(FaultSegv, f, in, err)
 			}
 			m.dfiMarkRange(args[argi], 8, id)
 			argi++
 			converted++
 		case 's':
 			tok := append(m.Stdin.ReadToken(), 0)
-			m.writeBytesMetered(fr, in, args[argi], tok)
+			m.writeBytesMetered(f, in, args[argi], tok)
 			m.dfiMarkRange(args[argi], len(tok), id)
 			argi++
 			converted++
@@ -399,11 +399,11 @@ func (m *Machine) scanf(fr *frame, in *ir.Instr, args []uint64, id int) (uint64,
 }
 
 // formatPrintf renders %d/%s/%x/%c verbs against the remaining args.
-func (m *Machine) formatPrintf(fr *frame, in *ir.Instr, args []uint64) string {
+func (m *Machine) formatPrintf(f *ir.Func, in *ir.Instr, args []uint64) string {
 	if len(args) == 0 {
 		return ""
 	}
-	format := m.cstring(fr, in, args[0])
+	format := m.cstring(f, in, args[0])
 	var b strings.Builder
 	argi := 1
 	for i := 0; i < len(format); i++ {
@@ -433,7 +433,7 @@ func (m *Machine) formatPrintf(fr *frame, in *ir.Instr, args []uint64) string {
 		case 'c':
 			b.WriteByte(byte(args[argi]))
 		case 's':
-			b.WriteString(m.cstring(fr, in, args[argi]))
+			b.WriteString(m.cstring(f, in, args[argi]))
 		default:
 			fmt.Fprintf(&b, "%%%c", spec)
 		}

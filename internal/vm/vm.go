@@ -7,6 +7,14 @@
 // simulated memory, and the hardening instructions (pac.*, canary.*,
 // dfi.*) fault exactly when the corresponding mechanism would trap on
 // hardware.
+//
+// Execution uses a pre-decoded engine (decode.go, engine.go): each
+// function is lowered once per machine into a flat instruction stream
+// with dense value slots, so the hot loop dispatches over arrays instead
+// of walking the IR with per-value map lookups. The original
+// tree-walking interpreter survives in reference.go behind
+// Config.Reference as the differential-testing oracle; both paths
+// produce byte-identical results.
 package vm
 
 import (
@@ -68,8 +76,22 @@ type Machine struct {
 
 	// siteHits records which static hardening instructions executed at
 	// least once — the Fig. 6(b) "PA instructions executed dynamically"
-	// metric.
+	// metric. The decoded engine filters through per-function bitsets
+	// (dfunc.siteSeen) so the map is touched once per site.
 	siteHits map[*ir.Instr]bool
+
+	// decoded caches the pre-decoded form of every executed function;
+	// plans caches DefaultPlan results for plan-less functions.
+	decoded map[*ir.Func]*dfunc
+	plans   map[*ir.Func]*ir.StackPlan
+
+	// slotFree is a LIFO pool of slot files recycled across frames, and
+	// zeroBuf the reusable frame-zeroing scratch.
+	slotFree [][]uint64
+	zeroBuf  []byte
+
+	// ref forces every call through the reference interpreter.
+	ref bool
 
 	// sectionInitDone tracks the one-time heap sectioning cost.
 	sectionInitDone bool
@@ -83,6 +105,12 @@ type Config struct {
 	Seed  int64
 	Model *perf.Model
 	Fuel  int64
+
+	// Reference selects the pre-decode tree-walking interpreter instead
+	// of the slot engine. It exists for differential testing — the two
+	// engines must produce byte-identical results — and costs roughly
+	// 2× the run time; production callers leave it false.
+	Reference bool
 }
 
 // New loads mod into a fresh machine image.
@@ -113,6 +141,9 @@ func New(mod *ir.Module, cfg Config) *Machine {
 		canaryShadow: make(map[uint64]uint64),
 		objMAC:       make(map[uint64]uint64),
 		siteHits:     make(map[*ir.Instr]bool),
+		decoded:      make(map[*ir.Func]*dfunc),
+		plans:        make(map[*ir.Func]*ir.StackPlan),
+		ref:          cfg.Reference,
 	}
 	m.layoutImage()
 	return m
@@ -269,56 +300,25 @@ func (m *Machine) call(f *ir.Func, args []uint64) (ret uint64, fault *Fault) {
 
 const maxDepth = 400
 
-// invoke runs f; faults propagate as execError panics so deeply nested
-// interpreter frames unwind without error plumbing on every opcode.
+// invoke runs one call of f, dispatching to the decoded engine or the
+// reference interpreter; faults propagate as execError panics so deeply
+// nested interpreter frames unwind without error plumbing on every
+// opcode.
 func (m *Machine) invoke(f *ir.Func, args []uint64) uint64 {
-	if m.depth >= maxDepth {
-		panic(m.fault(FaultRuntime, f, nil, errors.New("stack overflow (call depth)")))
+	if m.ref {
+		return m.refInvoke(f, args)
 	}
-	m.depth++
-	defer func() { m.depth-- }()
-
-	fr := m.newFrame(f, args)
-	defer m.popFrame(fr)
-
-	blk := f.Entry()
-	var prev *ir.Block
-	for {
-		// Phis first, evaluated in parallel against the incoming edge.
-		var phiVals []uint64
-		phis := blk.Phis()
-		for _, p := range phis {
-			phiVals = append(phiVals, m.evalPhi(fr, p, prev))
-		}
-		for i, p := range phis {
-			fr.regs[p] = phiVals[i]
-			m.tick(f, p)
-		}
-		next, done, retv := m.execBlock(fr, blk, len(phis))
-		if done {
-			return retv
-		}
-		prev, blk = blk, next
+	d := m.decodedFunc(f)
+	if d.refOnly {
+		// Functions the decoder cannot prove def-before-use for keep the
+		// exact lazy fault semantics of the tree walker.
+		return m.refInvoke(f, args)
 	}
+	return m.execDecoded(d, args)
 }
 
-func (m *Machine) evalPhi(fr *frame, p *ir.Instr, pred *ir.Block) uint64 {
-	for _, e := range p.Incoming {
-		if e.Pred == pred {
-			return m.eval(fr, e.Val)
-		}
-	}
-	panic(m.fault(FaultRuntime, fr.f, p, fmt.Errorf("phi has no edge for predecessor %v", predName(pred))))
-}
-
-func predName(b *ir.Block) string {
-	if b == nil {
-		return "<entry>"
-	}
-	return b.Name
-}
-
-// tick charges one retired instruction and burns fuel.
+// tick charges one retired instruction and burns fuel (reference-
+// interpreter path; the decoded engine uses dtick).
 func (m *Machine) tick(f *ir.Func, in *ir.Instr) {
 	if m.Trace != nil {
 		m.Trace(f, in)
@@ -333,341 +333,17 @@ func (m *Machine) tick(f *ir.Func, in *ir.Instr) {
 	}
 }
 
-// execBlock interprets blk starting after its phis. It returns the next
-// block, or done=true with the return value.
-func (m *Machine) execBlock(fr *frame, blk *ir.Block, skip int) (next *ir.Block, done bool, ret uint64) {
-	f := fr.f
-	for _, in := range blk.Instrs[skip:] {
-		switch in.Op {
-		case ir.OpPhi:
-			panic(m.fault(FaultRuntime, f, in, errors.New("phi after non-phi")))
-		case ir.OpBr:
-			m.tick(f, in)
-			return in.Succs[0], false, 0
-		case ir.OpCondBr:
-			m.tick(f, in)
-			if m.eval(fr, in.Args[0])&1 != 0 {
-				return in.Succs[0], false, 0
-			}
-			return in.Succs[1], false, 0
-		case ir.OpRet:
-			m.tick(f, in)
-			if len(in.Args) == 1 {
-				return nil, true, m.eval(fr, in.Args[0])
-			}
-			return nil, true, 0
-		default:
-			m.execInstr(fr, in)
-		}
-	}
-	panic(m.fault(FaultRuntime, f, nil, fmt.Errorf("block %%%s fell through", blk.Name)))
-}
-
-// execInstr handles every non-control opcode.
-func (m *Machine) execInstr(fr *frame, in *ir.Instr) {
-	f := fr.f
-	m.tick(f, in)
-	switch in.Op {
-	case ir.OpAlloca:
-		fr.regs[in] = fr.slotAddr(m, in)
-
-	case ir.OpLoad:
-		addr := m.eval(fr, in.Args[0])
-		sz := int(in.Typ.Size())
-		m.Meter.OnLoad(addr)
-		v, err := m.Mem.ReadUint(addr, sz)
-		if err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
-		}
-		fr.regs[in] = signExtend(v, sz)
-
-	case ir.OpStore:
-		val := m.eval(fr, in.Args[0])
-		addr := m.eval(fr, in.Args[1])
-		sz := int(in.Args[0].Type().Size())
-		m.Meter.OnStore(addr)
-		if err := m.Mem.WriteUint(addr, val, sz); err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
-		}
-
-	case ir.OpGEP:
-		fr.regs[in] = m.evalGEP(fr, in)
-
-	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem,
-		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpAShr:
-		a := int64(m.eval(fr, in.Args[0]))
-		b := int64(m.eval(fr, in.Args[1]))
-		var v int64
-		switch in.Op {
-		case ir.OpAdd:
-			v = a + b
-		case ir.OpSub:
-			v = a - b
-		case ir.OpMul:
-			v = a * b
-		case ir.OpSDiv:
-			if b == 0 {
-				panic(m.fault(FaultRuntime, f, in, errors.New("division by zero")))
-			}
-			v = a / b
-		case ir.OpSRem:
-			if b == 0 {
-				panic(m.fault(FaultRuntime, f, in, errors.New("remainder by zero")))
-			}
-			v = a % b
-		case ir.OpAnd:
-			v = a & b
-		case ir.OpOr:
-			v = a | b
-		case ir.OpXor:
-			v = a ^ b
-		case ir.OpShl:
-			v = a << uint(b&63)
-		case ir.OpAShr:
-			v = a >> uint(b&63)
-		}
-		fr.regs[in] = uint64(v)
-
-	case ir.OpICmp:
-		a := int64(m.eval(fr, in.Args[0]))
-		b := int64(m.eval(fr, in.Args[1]))
-		var r bool
-		switch in.Pred {
-		case ir.PredEQ:
-			r = a == b
-		case ir.PredNE:
-			r = a != b
-		case ir.PredLT:
-			r = a < b
-		case ir.PredLE:
-			r = a <= b
-		case ir.PredGT:
-			r = a > b
-		case ir.PredGE:
-			r = a >= b
-		}
-		if r {
-			fr.regs[in] = 1
-		} else {
-			fr.regs[in] = 0
-		}
-
-	case ir.OpTrunc:
-		v := m.eval(fr, in.Args[0])
-		fr.regs[in] = v & widthMask(in.Typ)
-	case ir.OpZExt:
-		v := m.eval(fr, in.Args[0])
-		fr.regs[in] = v & widthMask(in.Args[0].Type())
-	case ir.OpSExt:
-		v := m.eval(fr, in.Args[0])
-		fr.regs[in] = uint64(signExtend(v, int(in.Args[0].Type().Size())))
-	case ir.OpPtrToInt, ir.OpIntToPtr:
-		fr.regs[in] = m.eval(fr, in.Args[0])
-
-	case ir.OpSelect:
-		if m.eval(fr, in.Args[0])&1 != 0 {
-			fr.regs[in] = m.eval(fr, in.Args[1])
-		} else {
-			fr.regs[in] = m.eval(fr, in.Args[2])
-		}
-
-	case ir.OpCall:
-		fr.regs[in] = m.execCall(fr, in)
-
-	case ir.OpPacSign:
-		ptr := m.eval(fr, in.Args[0])
-		mod := m.eval(fr, in.Args[1])
-		fr.regs[in] = pa.Sign(ptr, mod, m.Keys.APDA)
-
-	case ir.OpPacAuth:
-		ptr := m.eval(fr, in.Args[0])
-		mod := m.eval(fr, in.Args[1])
-		out, ok := pa.Auth(ptr, mod, m.Keys.APDA)
-		if !ok {
-			panic(m.fault(FaultPAC, f, in, &pa.AuthError{Ptr: ptr, Modifier: mod}))
-		}
-		fr.regs[in] = out
-
-	case ir.OpPacStrip:
-		fr.regs[in] = pa.Strip(m.eval(fr, in.Args[0]))
-
-	case ir.OpSealStore:
-		val := m.eval(fr, in.Args[0])
-		addr := m.eval(fr, in.Args[1])
-		m.Meter.OnStore(addr)
-		if err := m.Mem.WriteUint(addr, val, 8); err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
-		}
-		mac := pa.GenericMAC(val, addr, m.Keys.APGA)
-		m.Meter.OnStore(addr + 8)
-		if err := m.Mem.WriteUint(addr+8, mac, 8); err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
-		}
-
-	case ir.OpCheckLoad:
-		addr := m.eval(fr, in.Args[0])
-		m.Meter.OnLoad(addr)
-		val, err := m.Mem.ReadUint(addr, 8)
-		if err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
-		}
-		m.Meter.OnLoad(addr + 8)
-		mac, err := m.Mem.ReadUint(addr+8, 8)
-		if err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
-		}
-		want := pa.GenericMAC(val, addr, m.Keys.APGA)
-		// Hardware verifies only the PAC-width truncation of the MAC.
-		if mac>>(64-pa.PACBits) != want>>(64-pa.PACBits) {
-			panic(m.fault(FaultPAC, f, in, fmt.Errorf("sealed scalar at %#x corrupted", addr)))
-		}
-		fr.regs[in] = val
-
-	case ir.OpObjSeal:
-		addr := m.eval(fr, in.Args[0])
-		size := int(m.eval(fr, in.Args[1]))
-		m.objMAC[addr] = m.objectMAC(fr, in, addr, size)
-
-	case ir.OpObjCheck:
-		addr := m.eval(fr, in.Args[0])
-		size := int(m.eval(fr, in.Args[1]))
-		if want, sealed := m.objMAC[addr]; sealed {
-			got := m.objectMAC(fr, in, addr, size)
-			if got>>(64-pa.PACBits) != want>>(64-pa.PACBits) {
-				panic(m.fault(FaultPAC, f, in, fmt.Errorf("sealed object at %#x (%d bytes) corrupted", addr, size)))
-			}
-		}
-
-	case ir.OpCanarySet:
-		m.canarySet(fr, in)
-
-	case ir.OpCanaryCheck:
-		m.canaryCheck(fr, in)
-
-	case ir.OpSetDef:
-		addr := m.eval(fr, in.Args[0])
-		m.dfiRDT[addr] = in.DefID
-
-	case ir.OpChkDef:
-		addr := m.eval(fr, in.Args[0])
-		if id, ok := m.dfiRDT[addr]; ok {
-			allowed := id == DFIWildcard
-			for _, a := range in.Allowed {
-				if a == id {
-					allowed = true
-					break
-				}
-			}
-			if !allowed {
-				panic(m.fault(FaultDFI, f, in, fmt.Errorf("dfi: def #%d not permitted at %#x", id, addr)))
-			}
-		}
-
-	default:
-		panic(m.fault(FaultRuntime, f, in, fmt.Errorf("unimplemented opcode %s", in.Op)))
-	}
-}
-
-// canarySet writes a fresh PA-signed random canary into the slot and
-// records it in the shadow map (re-randomization per §4.4 happens simply
-// by executing canary.set again before each input channel).
-func (m *Machine) canarySet(fr *frame, in *ir.Instr) {
-	slot := m.eval(fr, in.Args[0])
-	m.canarySetAt(fr, in, slot)
-}
-
-// canaryCheck authenticates the slot contents; any overwrite that does
-// not carry a valid PAC for this slot faults.
-func (m *Machine) canaryCheck(fr *frame, in *ir.Instr) {
-	slot := m.eval(fr, in.Args[0])
-	m.Meter.OnLoad(slot)
-	v, err := m.Mem.ReadUint(slot, 8)
-	if err != nil {
-		panic(m.fault(FaultSegv, fr.f, in, err))
-	}
-	if _, ok := pa.Auth(v, slot, m.Keys.APGA); !ok {
-		panic(m.fault(FaultCanary, fr.f, in, fmt.Errorf("canary at %#x corrupted (value %#x)", slot, v)))
-	}
-	// A forged value may pass Auth with probability 2^-24; the shadow
-	// catches the discrepancy so brute-force statistics stay exact.
-	if want, ok := m.canaryShadow[slot]; ok && want != v {
-		panic(m.fault(FaultCanary, fr.f, in, fmt.Errorf("canary at %#x replaced with validly-signed forgery", slot)))
-	}
-}
-
-func (m *Machine) evalGEP(fr *frame, in *ir.Instr) uint64 {
-	base := m.eval(fr, in.Args[0])
-	t := in.Args[0].Type().(*ir.PtrType).Elem
-	// First index scales by the pointee size.
-	idx0 := int64(m.eval(fr, in.Args[1]))
-	addr := base + uint64(idx0*t.Size())
-	for _, iv := range in.Args[2:] {
-		idx := int64(m.eval(fr, iv))
-		switch ct := t.(type) {
-		case *ir.ArrayType:
-			addr += uint64(idx * ct.Elem.Size())
-			t = ct.Elem
-		case *ir.StructType:
-			addr += uint64(ct.Offset(int(idx)))
-			t = ct.Fields[idx].Type
-		default:
-			panic(m.fault(FaultRuntime, fr.f, in, fmt.Errorf("gep into scalar %s", t)))
-		}
-	}
-	return addr
-}
-
-func (m *Machine) execCall(fr *frame, in *ir.Instr) uint64 {
-	callee := in.Callee
-	args := make([]uint64, len(in.Args))
-	for i, a := range in.Args {
-		args[i] = m.eval(fr, a)
-	}
-	if callee.IsDecl() {
-		v, err := m.intrinsic(fr, in, callee, args)
-		if err != nil {
-			var ee *execError
-			if errors.As(err, &ee) {
-				panic(ee)
-			}
-			panic(m.fault(FaultRuntime, fr.f, in, err))
-		}
-		return v
-	}
-	return m.invoke(callee, args)
-}
-
-// eval resolves an operand to its runtime value.
-func (m *Machine) eval(fr *frame, v ir.Value) uint64 {
-	switch x := v.(type) {
-	case *ir.Const:
-		return uint64(x.Val)
-	case *ir.Global:
-		return m.globalAddrs[x]
-	case *ir.Param:
-		return fr.args[x.Index]
-	case *ir.Instr:
-		val, ok := fr.regs[x]
-		if !ok {
-			panic(m.fault(FaultRuntime, fr.f, x, errors.New("use of undefined value")))
-		}
-		return val
-	default:
-		panic(m.fault(FaultRuntime, fr.f, nil, fmt.Errorf("unknown value kind %T", v)))
-	}
-}
-
 // objectMAC computes the pacga MAC over an object's current contents:
 // an FNV-1a digest of the bytes fed through the generic-MAC cipher, the
 // software analogue of chained pacga over the object words.
-func (m *Machine) objectMAC(fr *frame, in *ir.Instr, addr uint64, size int) uint64 {
+func (m *Machine) objectMAC(f *ir.Func, in *ir.Instr, addr uint64, size int) uint64 {
 	// Cost model: the hardware scheme authenticates per-element PACs in
 	// parallel with the access, so the meter charges one access (the
 	// caller's tick already charged the PA sequence); functionally we
 	// verify the whole object so corruption anywhere is caught.
 	b, err := m.Mem.ReadBytes(addr, size)
 	if err != nil {
-		panic(m.fault(FaultSegv, fr.f, in, err))
+		panic(m.fault(FaultSegv, f, in, err))
 	}
 	h := uint64(0xcbf29ce484222325)
 	for _, x := range b {

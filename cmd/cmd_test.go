@@ -3,7 +3,9 @@
 package cmd_test
 
 import (
+	"bytes"
 	"encoding/json"
+	"os"
 	"os/exec"
 	"strings"
 	"testing"
@@ -22,6 +24,22 @@ func run(t *testing.T, args ...string) string {
 		}
 	}
 	return string(out)
+}
+
+// runStdout is run with stdout and stderr kept separate, for tests that
+// compare stdout byte-for-byte against a golden file.
+func runStdout(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = ".."
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		if _, isExit := err.(*exec.ExitError); !isExit {
+			t.Fatalf("go run %v: %v\n%s", args, err, stderr.String())
+		}
+	}
+	return stdout.String()
 }
 
 func TestPythiacVanillaBends(t *testing.T) {
@@ -130,24 +148,181 @@ func TestPythiaBenchRejectsUnknownFormat(t *testing.T) {
 	}
 }
 
+// TestPythiaAttackJSON: -json must emit the outcome matrix as one JSON
+// document, with a forensic report (non-empty window, address, segment)
+// under every detection.
+func TestPythiaAttackJSON(t *testing.T) {
+	out := runStdout(t, "./cmd/pythia-attack", "-case", "scanf-scalar-taint", "-json")
+	var doc struct {
+		Outcomes []struct {
+			Case      string `json:"case"`
+			Scheme    string `json:"scheme"`
+			Attack    string `json:"attack"`
+			Detector  string `json:"detector"`
+			Forensics *struct {
+				Kind    string `json:"kind"`
+				Func    string `json:"func"`
+				Scheme  string `json:"scheme"`
+				Addr    string `json:"addr"`
+				Segment string `json:"segment"`
+				Window  []struct {
+					Func  string `json:"func"`
+					Instr string `json:"instr"`
+				} `json:"window"`
+			} `json:"forensics"`
+		} `json:"outcomes"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(doc.Outcomes) != 4 { // one case, all four schemes
+		t.Fatalf("want 4 outcomes, got %d", len(doc.Outcomes))
+	}
+	detections := 0
+	for _, o := range doc.Outcomes {
+		if o.Attack != "detected" {
+			continue
+		}
+		detections++
+		if o.Detector == "" {
+			t.Errorf("%s/%s: detection without detector", o.Case, o.Scheme)
+		}
+		f := o.Forensics
+		if f == nil {
+			t.Fatalf("%s/%s: detection without forensics", o.Case, o.Scheme)
+		}
+		if len(f.Window) == 0 || f.Kind == "" || f.Func == "" || f.Scheme != o.Scheme {
+			t.Errorf("%s/%s: forensics incomplete: %+v", o.Case, o.Scheme, f)
+		}
+	}
+	if detections == 0 {
+		t.Fatal("no detections in the matrix")
+	}
+}
+
+// TestPythiaAttackForensicsFlag: -forensics renders the flight window
+// as an indented block under the table row.
+func TestPythiaAttackForensicsFlag(t *testing.T) {
+	out := run(t, "./cmd/pythia-attack", "-case", "scanf-scalar-taint", "-scheme", "pythia", "-forensics")
+	for _, want := range []string{"last", "instructions:", "address:", "scheme: pythia"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("forensics block missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// checkTraceFile asserts the file at path is valid Chrome trace_event
+// JSON with at least min complete/instant events.
+func checkTraceFile(t *testing.T, path string, min int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			PID   int64   `json:"pid"`
+			TID   int64   `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) < min {
+		t.Fatalf("trace malformed: unit=%q events=%d (want >= %d)", doc.DisplayTimeUnit, len(doc.TraceEvents), min)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Name == "" || (e.Phase != "X" && e.Phase != "i") || e.PID == 0 || e.TID == 0 {
+			t.Fatalf("bad event: %+v", e)
+		}
+	}
+}
+
+// TestPythiacTrace: -trace must write a loadable trace_event file
+// covering compile, harden, and run (plus the fault instant here).
+func TestPythiacTrace(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	out := run(t, "./cmd/pythiac", "-scheme", "pythia", "-stdin", "testdata/attack.txt", "-trace", path, "testdata/demo.c")
+	if !strings.Contains(out, "FAULT") {
+		t.Fatalf("attack input should fault:\n%s", out)
+	}
+	checkTraceFile(t, path, 4) // compile + harden + run spans, fault instant
+}
+
+// TestPythiaBenchTrace: -trace on the bench harness records experiment
+// and workload spans without disturbing the table stream.
+func TestPythiaBenchTrace(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	out := runStdout(t, "./cmd/pythia-bench", "-experiment", "fig4a", "-quick", "-trace", path)
+	if !strings.Contains(out, "fig4a") {
+		t.Fatalf("table output lost:\n%s", out)
+	}
+	checkTraceFile(t, path, 10)
+}
+
+// TestPythiaBenchQuickGolden: with observability disabled, the -quick
+// table stream must be byte-identical to the committed baseline. Guards
+// every obs hook staying off by default. Skipped in -short (the CI test
+// job); the CI golden step covers it with the committed file.
+func TestPythiaBenchQuickGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick sweep is slow; covered by the CI golden step")
+	}
+	want, err := os.ReadFile("../testdata/results_quick.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runStdout(t, "./cmd/pythia-bench", "-quick")
+	if got != string(want) {
+		t.Fatalf("quick output diverged from testdata/results_quick.txt (len %d vs %d)", len(got), len(want))
+	}
+}
+
 // TestPythiaBenchJSON: -json must emit one well-formed document carrying
 // the table data and the cache statistics.
 func TestPythiaBenchJSON(t *testing.T) {
-	out := run(t, "./cmd/pythia-bench", "-experiment", "bruteforce", "-json")
+	out := runStdout(t, "./cmd/pythia-bench", "-experiment", "fig4a", "-quick", "-json")
 	var doc struct {
+		PoolSize   int     `json:"pool_size"`
+		PrewarmMS  float64 `json:"prewarm_ms"`
+		TotalMS    float64 `json:"total_ms"`
+		CacheStats struct {
+			RunHits   int `json:"RunHits"`
+			RunMisses int `json:"RunMisses"`
+		} `json:"cache_stats"`
 		Experiments []struct {
-			ID      string     `json:"id"`
-			Columns []string   `json:"columns"`
-			Rows    [][]string `json:"rows"`
+			ID             string     `json:"id"`
+			Columns        []string   `json:"columns"`
+			Rows           [][]string `json:"rows"`
+			ElapsedMS      float64    `json:"elapsed_ms"`
+			CacheRunHits   int        `json:"cache_run_hits"`
+			CacheRunMisses int        `json:"cache_run_misses"`
 		} `json:"experiments"`
 	}
 	if err := json.Unmarshal([]byte(out), &doc); err != nil {
 		t.Fatalf("-json output does not parse: %v\n%s", err, out)
 	}
-	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "bruteforce" {
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "fig4a" {
 		t.Fatalf("unexpected document: %+v", doc)
 	}
-	if len(doc.Experiments[0].Rows) == 0 || len(doc.Experiments[0].Columns) != 2 {
-		t.Fatalf("table data missing: %+v", doc.Experiments[0])
+	e := doc.Experiments[0]
+	if len(e.Rows) == 0 || len(e.Columns) == 0 {
+		t.Fatalf("table data missing: %+v", e)
+	}
+	// The wall-time/cache-stats stderr lines must be mirrored here: the
+	// prewarm executed every declared task (pool > 0, misses > 0) and the
+	// experiment itself was then served from cache.
+	if doc.PoolSize <= 0 || doc.TotalMS <= 0 || doc.PrewarmMS <= 0 {
+		t.Fatalf("timing/pool fields missing: pool=%d prewarm=%v total=%v", doc.PoolSize, doc.PrewarmMS, doc.TotalMS)
+	}
+	if doc.CacheStats.RunMisses == 0 {
+		t.Fatalf("cache stats missing: %+v", doc.CacheStats)
+	}
+	if e.CacheRunHits == 0 || e.CacheRunMisses != 0 {
+		t.Fatalf("per-experiment cache delta wrong (want all hits post-prewarm): %+v", e)
 	}
 }

@@ -8,16 +8,24 @@
 //	pythia-attack                       # full matrix: corpus x schemes
 //	pythia-attack -case pointer-dualism # one case, all schemes
 //	pythia-attack -scheme pythia        # all cases, one scheme
+//	pythia-attack -json                 # Outcome matrix as one JSON document
+//	pythia-attack -forensics            # flight-recorder window under each detection
 //	pythia-attack -list
+//
+// Every attacked machine runs with the fault flight recorder armed, so a
+// detection carries the last-N executed instructions, the faulting
+// address, and its memory segment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 var schemeNames = map[string]core.Scheme{
@@ -32,6 +40,8 @@ func main() {
 		caseName   = flag.String("case", "", "run only this attack case")
 		schemeName = flag.String("scheme", "", "run only this scheme")
 		list       = flag.Bool("list", false, "list attack cases and exit")
+		jsonOut    = flag.Bool("json", false, "emit the outcome matrix as one JSON document")
+		forensics  = flag.Bool("forensics", false, "print the flight-recorder report under each detection")
 	)
 	flag.Parse()
 
@@ -61,7 +71,10 @@ func main() {
 		schemes = []core.Scheme{s}
 	}
 
-	fmt.Printf("%-26s %-9s %-8s %-22s %s\n", "case", "scheme", "benign", "attack", "detecting fault")
+	var outcomes []jsonOutcome
+	if !*jsonOut {
+		fmt.Printf("%-26s %-9s %-8s %-22s %s\n", "case", "scheme", "benign", "attack", "detecting fault")
+	}
 	exitCode := 0
 	for _, c := range cases {
 		c := c
@@ -71,14 +84,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "pythia-attack: %s/%v: %v\n", c.Name, s, err)
 				os.Exit(1)
 			}
-			faultDesc := "-"
-			if o.Fault != nil {
-				faultDesc = o.Fault.Error()
-				if len(faultDesc) > 60 {
-					faultDesc = faultDesc[:60] + "..."
+			if *jsonOut {
+				outcomes = append(outcomes, toJSON(o))
+			} else {
+				faultDesc := "-"
+				if o.Fault != nil {
+					faultDesc = o.Fault.Error()
+					if len(faultDesc) > 60 {
+						faultDesc = faultDesc[:60] + "..."
+					}
+				}
+				fmt.Printf("%-26s %-9v %-8v %-22v %s\n", c.Name, s, o.Benign, o.Attack, faultDesc)
+				if *forensics && o.Fault != nil && o.Fault.Forensics != nil {
+					o.Fault.Forensics.Render(os.Stdout, "    ")
 				}
 			}
-			fmt.Printf("%-26s %-9v %-8v %-22v %s\n", c.Name, s, o.Benign, o.Attack, faultDesc)
 			// A protected scheme letting the attack bend is the signal
 			// the harness exists to expose; reflect it in the exit code.
 			if s == core.SchemePythia && o.Attack == attack.VerdictBent {
@@ -86,5 +106,43 @@ func main() {
 			}
 		}
 	}
+	if *jsonOut {
+		out, err := json.MarshalIndent(struct {
+			Outcomes []jsonOutcome `json:"outcomes"`
+		}{outcomes}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-attack:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+	}
 	os.Exit(exitCode)
+}
+
+// jsonOutcome is one row of the -json matrix.
+type jsonOutcome struct {
+	Case      string           `json:"case"`
+	Scheme    string           `json:"scheme"`
+	Benign    string           `json:"benign"`
+	Attack    string           `json:"attack"`
+	Detector  string           `json:"detector,omitempty"` // fault kind, when detected
+	Fault     string           `json:"fault,omitempty"`
+	Forensics *obs.FaultReport `json:"forensics,omitempty"`
+	PAUsed    int64            `json:"pa_used"`
+}
+
+func toJSON(o *attack.Outcome) jsonOutcome {
+	j := jsonOutcome{
+		Case:   o.Case,
+		Scheme: fmt.Sprintf("%v", o.Scheme),
+		Benign: o.Benign.String(),
+		Attack: o.Attack.String(),
+		PAUsed: o.PAUsed,
+	}
+	if o.Fault != nil {
+		j.Detector = o.Fault.Kind.String()
+		j.Fault = o.Fault.Error()
+		j.Forensics = o.Fault.Forensics
+	}
+	return j
 }

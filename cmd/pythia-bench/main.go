@@ -11,12 +11,18 @@
 //	pythia-bench -parallel 4      # pre-warm worker count (0 = GOMAXPROCS)
 //	pythia-bench -json            # one machine-readable JSON document
 //	pythia-bench -cpuprofile cpu.out -memprofile mem.out
+//	pythia-bench -trace out.json  # Chrome trace_event timeline
+//	pythia-bench -hotsites 20     # top-N IR sites by attributed cycles
+//	pythia-bench -metrics m.json  # metrics registry dump ("-" = text to stderr)
 //
 // All (profile, scheme) executions the selected experiments declare are
 // pre-warmed through a shared memoized run cache, so overlapping
 // experiments pay for each pair once. Tables go to stdout; per-experiment
 // wall times and cache statistics go to stderr, keeping the table stream
 // byte-identical between sequential fresh and parallel cached runs.
+// The observability flags (-trace, -hotsites, -metrics) likewise leave
+// stdout untouched: traces and metrics go to their files, the hot-site
+// report to stderr.
 package main
 
 import (
@@ -29,6 +35,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/report"
 )
 
@@ -47,11 +55,17 @@ type jsonTable struct {
 	Rows      [][]string `json:"rows"`
 	Notes     []string   `json:"notes,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"`
+
+	// Run-cache traffic attributed to this experiment (delta across its
+	// Run call; prewarmed work shows up as hits here).
+	CacheRunHits   int `json:"cache_run_hits"`
+	CacheRunMisses int `json:"cache_run_misses"`
 }
 
 type jsonDoc struct {
 	Quick       bool        `json:"quick"`
 	Parallel    int         `json:"parallel"`
+	PoolSize    int         `json:"pool_size"`
 	PrewarmMS   float64     `json:"prewarm_ms"`
 	TotalMS     float64     `json:"total_ms"`
 	CacheStats  bench.Stats `json:"cache_stats"`
@@ -68,8 +82,27 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON document instead of rendered tables")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+		hotsites = flag.Int("hotsites", 0, "report the top-N IR sites by attributed cycles (0 = off)")
+		metrics  = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
 	)
 	flag.Parse()
+
+	var sess *obs.Session
+	if *traceOut != "" || *hotsites > 0 || *metrics != "" {
+		sess = &obs.Session{}
+		if *traceOut != "" {
+			sess.Trace = obs.NewTraceLog()
+		}
+		if *hotsites > 0 {
+			sess.Sites = perf.NewSiteProf()
+		}
+		if *metrics != "" {
+			sess.Metrics = obs.Default()
+		}
+		obs.Start(sess)
+		defer obs.Stop()
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -127,22 +160,28 @@ func main() {
 	cfg.Parallel = *parallel
 
 	start := time.Now()
-	cfg.Prewarm(exps)
+	pool := cfg.Prewarm(exps)
 	prewarm := time.Since(start)
 
-	doc := jsonDoc{Quick: *quick, Parallel: *parallel, PrewarmMS: ms(prewarm)}
+	doc := jsonDoc{Quick: *quick, Parallel: *parallel, PoolSize: pool, PrewarmMS: ms(prewarm)}
 	for _, e := range exps {
+		before := cfg.Runner().Stats()
 		t0 := time.Now()
+		endSpan := obs.TraceSpan("experiment "+e.ID, "bench")
 		tbl, err := e.Run(cfg)
+		endSpan()
 		elapsed := time.Since(t0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pythia-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		after := cfg.Runner().Stats()
 		if *jsonOut {
 			doc.Experiments = append(doc.Experiments, jsonTable{
 				ID: tbl.ID, Title: tbl.Title, Columns: tbl.Columns,
 				Rows: tbl.Rows, Notes: tbl.Notes, ElapsedMS: ms(elapsed),
+				CacheRunHits:   after.RunHits - before.RunHits,
+				CacheRunMisses: after.RunMisses - before.RunMisses,
 			})
 			continue
 		}
@@ -161,11 +200,53 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(out))
-		return
+	} else {
+		fmt.Fprintf(os.Stderr, "# total %.3fs (prewarm %.3fs); runs %d executed / %d served cached; analyses %d executed / %d served cached\n",
+			total.Seconds(), prewarm.Seconds(),
+			stats.RunMisses, stats.RunHits, stats.AnalysisMisses, stats.AnalysisHits)
 	}
-	fmt.Fprintf(os.Stderr, "# total %.3fs (prewarm %.3fs); runs %d executed / %d served cached; analyses %d executed / %d served cached\n",
-		total.Seconds(), prewarm.Seconds(),
-		stats.RunMisses, stats.RunHits, stats.AnalysisMisses, stats.AnalysisHits)
+
+	if sess != nil {
+		finishObs(sess, *traceOut, *metrics, *hotsites)
+	}
+}
+
+// finishObs writes the session's trace, metrics, and hot-site outputs.
+// Everything goes to files or stderr so the table stream on stdout stays
+// byte-identical with and without observability.
+func finishObs(sess *obs.Session, traceOut, metrics string, hotsites int) {
+	if traceOut != "" {
+		if err := sess.Trace.WriteFile(traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# trace: %d events -> %s\n", sess.Trace.Len(), traceOut)
+	}
+	if metrics != "" {
+		if metrics == "-" {
+			sess.Metrics.WriteText(os.Stderr)
+		} else {
+			f, err := os.Create(metrics)
+			if err == nil {
+				err = sess.Metrics.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if hotsites > 0 {
+		top := sess.Sites.Top(hotsites)
+		fmt.Fprintf(os.Stderr, "# hot sites (top %d of %d by attributed cycles)\n", len(top), sess.Sites.Len())
+		fmt.Fprintf(os.Stderr, "# %12s %14s  %-20s %s\n", "count", "cycles", "function", "instr")
+		for _, h := range top {
+			fmt.Fprintf(os.Stderr, "# %12d %14.0f  @%-20s %s\n", h.Count, h.Cycles, h.Func, h.Instr)
+		}
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/harden"
 	"repro/internal/ir"
 	"repro/internal/irpass"
+	"repro/internal/obs"
 	"repro/internal/slice"
 )
 
@@ -38,12 +39,28 @@ func main() {
 		analyze    = flag.Bool("analyze", false, "print the vulnerability analysis instead of running")
 		stdinFile  = flag.String("stdin", "", "file whose contents become the program's stdin")
 		seed       = flag.Int64("seed", 42, "machine seed (keys, canary RNG)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pythiac [flags] file.c")
 		flag.Usage()
 		os.Exit(2)
+	}
+	// writeTrace flushes the trace file; called explicitly on every exit
+	// path because os.Exit skips deferred functions.
+	writeTrace := func() {}
+	if *traceOut != "" {
+		trace := obs.NewTraceLog()
+		obs.Start(&obs.Session{Trace: trace})
+		path := *traceOut
+		writeTrace = func() {
+			obs.Stop()
+			if err := trace.WriteFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "pythiac: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	scheme, ok := schemeNames[*schemeName]
 	if !ok {
@@ -75,6 +92,7 @@ func main() {
 			fatal("compile: %v", err)
 		}
 		printAnalysis(mod)
+		writeTrace()
 		return
 	}
 
@@ -90,6 +108,7 @@ func main() {
 
 	if *emitIR {
 		fmt.Print(prog.Mod.String())
+		writeTrace()
 		return
 	}
 
@@ -113,9 +132,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "binary size: %d bytes   static defense instrs: %d\n", core.BinarySize(prog.Mod), prog.Protection.PAInstrs())
 	if res.Fault != nil {
 		fmt.Fprintf(os.Stderr, "FAULT: %v\n", res.Fault)
+		writeTrace()
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "exit value: %d\n", int64(res.Ret))
+	writeTrace()
 }
 
 func printAnalysis(mod *ir.Module) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -44,15 +45,17 @@ type Outcome struct {
 }
 
 // Run builds the case under the scheme and runs benign + malicious
-// inputs on fresh machines.
+// inputs on fresh machines. Every machine is armed with a fault flight
+// recorder, so a detected attack's Fault carries a Forensics report.
 func Run(c *Case, scheme core.Scheme) (*Outcome, error) {
+	defer obs.TraceSpan(fmt.Sprintf("attack %s [%v]", c.Name, scheme), "attack")()
 	out := &Outcome{Case: c.Name, Scheme: scheme}
 
 	benignProg, err := core.Build(c.Name, c.Source, scheme)
 	if err != nil {
 		return nil, fmt.Errorf("attack: build %s/%v: %w", c.Name, scheme, err)
 	}
-	bres, err := benignProg.Run(c.Benign)
+	bres, err := runArmed(benignProg, c.Benign)
 	if err != nil {
 		return nil, err
 	}
@@ -62,16 +65,27 @@ func Run(c *Case, scheme core.Scheme) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	ares, err := attackProg.Run(c.Malicious)
+	ares, err := runArmed(attackProg, c.Malicious)
 	if err != nil {
 		return nil, err
 	}
 	out.Attack = classify(ares)
 	if out.Attack == VerdictDetected {
 		out.Fault = ares.Fault
+		if out.Fault.Forensics != nil {
+			out.Fault.Forensics.Scheme = fmt.Sprintf("%v", scheme)
+		}
 	}
 	out.PAUsed = ares.Counters.PAInstrs
 	return out, nil
+}
+
+// runArmed executes main() on a fresh machine with the flight recorder
+// enabled (core.Program.Run builds plain machines).
+func runArmed(p *core.Program, stdin string) (*vm.Result, error) {
+	m := vm.New(p.Mod, vm.Config{Seed: p.Seed, Flight: obs.DefaultFlightWindow})
+	m.Stdin.SetInput([]byte(stdin))
+	return m.Run("main")
 }
 
 // classify maps a run result to a verdict.

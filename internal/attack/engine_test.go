@@ -89,6 +89,44 @@ func TestOutcomeReportsDetectingFault(t *testing.T) {
 	}
 }
 
+// TestForensicsOnEveryDetection: every machine the attack engine runs
+// is armed with a flight recorder, so every detected fault across the
+// corpus must carry a populated forensic report — non-empty window,
+// the detecting site, and the scheme that was running.
+func TestForensicsOnEveryDetection(t *testing.T) {
+	detections := 0
+	for _, c := range attack.Corpus() {
+		c := c
+		for _, s := range core.Schemes {
+			o, err := attack.Run(&c, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Attack != attack.VerdictDetected {
+				continue
+			}
+			detections++
+			r := o.Fault.Forensics
+			if r == nil {
+				t.Errorf("%s/%v: detected fault has no forensics", c.Name, s)
+				continue
+			}
+			if len(r.Window) == 0 {
+				t.Errorf("%s/%v: flight window is empty", c.Name, s)
+			}
+			if r.Kind != o.Fault.Kind.String() || r.Func != o.Fault.Func {
+				t.Errorf("%s/%v: report disagrees with fault: %+v vs %+v", c.Name, s, r, o.Fault)
+			}
+			if want := s.String(); r.Scheme != want {
+				t.Errorf("%s/%v: report scheme = %q, want %q", c.Name, s, r.Scheme, want)
+			}
+		}
+	}
+	if detections == 0 {
+		t.Fatal("corpus produced no detections at all")
+	}
+}
+
 func TestMatrixShape(t *testing.T) {
 	outcomes, err := attack.Matrix([]core.Scheme{core.SchemeVanilla, core.SchemePythia})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/slice"
 	"repro/internal/workload"
 )
@@ -43,6 +44,10 @@ type Runner struct {
 	runs     map[runKey]*runEntry
 	analyses map[string]*analysisEntry
 	stats    Stats
+
+	// reg mirrors the hit/miss counters into the observability session
+	// active when the Runner was built (nil when none was).
+	reg *obs.Registry
 }
 
 // Stats counts cache traffic; misses are the executions actually paid.
@@ -56,6 +61,7 @@ func NewRunner() *Runner {
 	return &Runner{
 		runs:     make(map[runKey]*runEntry),
 		analyses: make(map[string]*analysisEntry),
+		reg:      obs.CurrentMetrics(),
 	}
 }
 
@@ -79,6 +85,13 @@ func (r *Runner) Run(p *workload.Profile, scheme core.Scheme) (*workload.RunResu
 		r.stats.RunMisses++
 	}
 	r.mu.Unlock()
+	if r.reg != nil {
+		if ok {
+			r.reg.Add("bench.cache.run.hits", 1)
+		} else {
+			r.reg.Add("bench.cache.run.misses", 1)
+		}
+	}
 	pp := *p // detach from the caller so later mutation can't race the build
 	e.once.Do(func() { e.res, e.err = workload.Run(&pp, scheme) })
 	return e.res, e.err
@@ -112,6 +125,13 @@ func (r *Runner) Analyze(p *workload.Profile) (*slice.VulnReport, error) {
 		r.stats.AnalysisMisses++
 	}
 	r.mu.Unlock()
+	if r.reg != nil {
+		if ok {
+			r.reg.Add("bench.cache.analysis.hits", 1)
+		} else {
+			r.reg.Add("bench.cache.analysis.misses", 1)
+		}
+	}
 	pp := *p
 	e.once.Do(func() {
 		prog, err := workload.Build(&pp, core.SchemeVanilla)

@@ -1,0 +1,73 @@
+package bench_test
+
+// Trace parity: vm.Config.Trace must observe the identical (function,
+// instruction) stream on the decoded slot engine and the reference
+// interpreter — not just identical end states. This pins the per-
+// instruction hook order the observability layer (flight recorder,
+// site profiling) depends on: a forensic window must not depend on
+// which engine happened to run.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// traceStep is one observed tick. Both engines run over the same
+// *ir.Module, so pointer identity is the strictest possible comparison.
+type traceStep struct {
+	f  *ir.Func
+	in *ir.Instr
+}
+
+func collectTrace(mod *ir.Module, stdin string, reference bool) []traceStep {
+	var steps []traceStep
+	m := vm.New(mod, vm.Config{
+		Seed:      42,
+		Reference: reference,
+		Trace:     func(f *ir.Func, in *ir.Instr) { steps = append(steps, traceStep{f, in}) },
+	})
+	m.Stdin.SetInput([]byte(stdin))
+	m.Run("main")
+	return steps
+}
+
+// TestEngineTraceParity sweeps the attack corpus — benign and malicious
+// inputs, every scheme — and compares the full instruction streams.
+func TestEngineTraceParity(t *testing.T) {
+	cases := attack.Corpus()
+	if testing.Short() {
+		cases = cases[:3]
+	}
+	for i := range cases {
+		c := &cases[i]
+		for _, scheme := range core.Schemes {
+			for _, input := range []struct {
+				label string
+				data  string
+			}{{"benign", c.Benign}, {"malicious", c.Malicious}} {
+				t.Run(fmt.Sprintf("%s/%v/%s", c.Name, scheme, input.label), func(t *testing.T) {
+					prog, err := core.Build(c.Name, c.Source, scheme)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dec := collectTrace(prog.Mod, input.data, false)
+					ref := collectTrace(prog.Mod, input.data, true)
+					if len(dec) != len(ref) {
+						t.Fatalf("stream length diverged: decoded %d, reference %d", len(dec), len(ref))
+					}
+					for j := range dec {
+						if dec[j] != ref[j] {
+							t.Fatalf("step %d diverged:\n  decoded:   @%s  %s\n  reference: @%s  %s",
+								j, dec[j].f.FName, dec[j].in, ref[j].f.FName, ref[j].in)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -46,10 +48,11 @@ func WarmTasks(cfg *Config, exps []Experiment) []Task {
 }
 
 // Prewarm executes every task the experiments declare through the run
-// cache on a pool of cfg.Parallel workers (0 = GOMAXPROCS). Failures
-// stay in the cache and resurface from the owning experiment, so the
-// error-reporting order is identical to a cold sequential run.
-func (c *Config) Prewarm(exps []Experiment) {
+// cache on a pool of cfg.Parallel workers (0 = GOMAXPROCS), returning
+// the worker count actually used. Failures stay in the cache and
+// resurface from the owning experiment, so the error-reporting order is
+// identical to a cold sequential run.
+func (c *Config) Prewarm(exps []Experiment) int {
 	tasks := WarmTasks(c, exps)
 	workers := c.Parallel
 	if workers <= 0 {
@@ -59,8 +62,13 @@ func (c *Config) Prewarm(exps []Experiment) {
 		workers = len(tasks)
 	}
 	if workers == 0 {
-		return
+		return 0
 	}
+	if reg := obs.CurrentMetrics(); reg != nil {
+		reg.Gauge("bench.pool.workers").Set(float64(workers))
+		reg.Gauge("bench.pool.tasks").Set(float64(len(tasks)))
+	}
+	defer obs.TraceSpan(fmt.Sprintf("prewarm %d tasks / %d workers", len(tasks), workers), "bench")()
 	r := c.Runner()
 	ch := make(chan Task)
 	var wg sync.WaitGroup
@@ -82,4 +90,5 @@ func (c *Config) Prewarm(exps []Experiment) {
 	}
 	close(ch)
 	wg.Wait()
+	return workers
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/irpass"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/slice"
 	"repro/internal/vm"
@@ -69,6 +70,7 @@ type Program struct {
 // CompileC compiles MiniC source to an optimized (mem2reg + folding) IR
 // module — the paper's "-O3 + mem2reg" preprocessing.
 func CompileC(name, src string) (*ir.Module, error) {
+	defer obs.TraceSpan("compile "+name, "compile")()
 	mod, err := minic.Compile(name, src)
 	if err != nil {
 		return nil, err
@@ -79,6 +81,7 @@ func CompileC(name, src string) (*ir.Module, error) {
 
 // Protect applies the scheme's instrumentation to mod in place.
 func Protect(mod *ir.Module, scheme Scheme) (*Protection, error) {
+	defer obs.TraceSpan(fmt.Sprintf("harden %v", scheme), "harden")()
 	if scheme == SchemeDFI {
 		r, err := dfi.Apply(mod)
 		if err != nil {
@@ -113,9 +116,17 @@ func (p *Program) NewMachine() *vm.Machine {
 
 // Run executes main() with the given stdin contents on a fresh machine.
 func (p *Program) Run(stdin string, args ...uint64) (*vm.Result, error) {
+	end := obs.TraceSpan(fmt.Sprintf("run %s [%v]", p.Mod.Name, p.Protection.Scheme), "vm")
 	m := p.NewMachine()
 	m.Stdin.SetInput([]byte(stdin))
-	return m.Run("main", args...)
+	res, err := m.Run("main", args...)
+	end()
+	if res != nil && res.Fault != nil {
+		obs.TraceInstant("fault: "+res.Fault.Kind.String(), "vm", map[string]any{
+			"func": res.Fault.Func, "instr": res.Fault.Instr,
+		})
+	}
+	return res, err
 }
 
 // Analyze runs the vulnerability analysis without instrumenting.

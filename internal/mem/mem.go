@@ -245,5 +245,27 @@ func InIsolated(addr uint64) bool { return addr >= IsolatedBase && addr < Isolat
 func InStack(addr uint64) bool    { return addr >= StackLimit && addr < StackTop }
 func InGlobal(addr uint64) bool   { return addr >= GlobalBase && addr < GlobalLimit }
 
+// SegmentName classifies addr by the layout above, for diagnostics and
+// fault forensics. Addresses with PAC bits set are "non-canonical" (the
+// classic symptom of dereferencing an unauthenticated pointer).
+func SegmentName(addr uint64) string {
+	switch {
+	case addr>>40 != 0:
+		return "non-canonical"
+	case addr >= CodeBase && addr < GlobalBase:
+		return "code"
+	case InGlobal(addr):
+		return "globals"
+	case InShared(addr):
+		return "shared-heap"
+	case InIsolated(addr):
+		return "isolated-heap"
+	case InStack(addr):
+		return "stack"
+	default:
+		return "unmapped"
+	}
+}
+
 // Footprint returns the number of committed pages (a proxy for RSS).
 func (m *Memory) Footprint() int { return len(m.pages) }

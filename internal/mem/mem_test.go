@@ -137,6 +137,27 @@ func TestSegmentPredicates(t *testing.T) {
 	}
 }
 
+func TestSegmentName(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want string
+	}{
+		{mem.CodeBase, "code"},
+		{mem.GlobalBase, "globals"},
+		{mem.SharedBase + 64, "shared-heap"},
+		{mem.IsolatedBase, "isolated-heap"},
+		{mem.StackTop - 8, "stack"},
+		{16, "unmapped"},
+		{mem.GlobalLimit, "unmapped"}, // gap between globals and the heaps
+		{1 << 44, "non-canonical"},    // PAC bits set
+	}
+	for _, c := range cases {
+		if got := mem.SegmentName(c.addr); got != c.want {
+			t.Errorf("SegmentName(%#x) = %q, want %q", c.addr, got, c.want)
+		}
+	}
+}
+
 func TestIsolationDistance(t *testing.T) {
 	// The heap sectioning guarantee: a linear overflow from anywhere in
 	// the shared segment can never reach the isolated segment without

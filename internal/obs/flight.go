@@ -1,0 +1,125 @@
+package obs
+
+// The fault flight recorder: a fixed-size ring buffer of the most
+// recently executed (function, instruction) sites, fed from the VM
+// engines' tick paths. When a fault unwinds the machine, the window is
+// rendered into a FaultReport so every detection comes with execution
+// context — which store corrupted what, which check tripped, and the
+// control flow in between — instead of a single faulting site.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Flight is one machine's instruction ring buffer. Record stores bare
+// IR pointers (two words per executed instruction); rendering to
+// strings happens only when a fault actually asks for a report.
+type Flight struct {
+	fs    []*ir.Func
+	ins   []*ir.Instr
+	pos   int
+	total int64
+}
+
+// NewFlight returns a recorder keeping the last n instructions.
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = DefaultFlightWindow
+	}
+	return &Flight{fs: make([]*ir.Func, n), ins: make([]*ir.Instr, n)}
+}
+
+// Record appends one executed instruction, evicting the oldest.
+func (fl *Flight) Record(f *ir.Func, in *ir.Instr) {
+	fl.fs[fl.pos], fl.ins[fl.pos] = f, in
+	fl.pos++
+	if fl.pos == len(fl.fs) {
+		fl.pos = 0
+	}
+	fl.total++
+}
+
+// Total returns the number of instructions recorded over the flight's
+// lifetime (not just those still in the window).
+func (fl *Flight) Total() int64 { return fl.total }
+
+// FlightEntry is one rendered window slot.
+type FlightEntry struct {
+	Func  string `json:"func"`
+	Instr string `json:"instr"`
+}
+
+// Window renders the recorded instructions oldest-first.
+func (fl *Flight) Window() []FlightEntry {
+	n := len(fl.fs)
+	if fl.total < int64(n) {
+		n = int(fl.total)
+	}
+	out := make([]FlightEntry, 0, n)
+	// Oldest entry sits at pos when the ring has wrapped, at 0 otherwise.
+	start := 0
+	if fl.total >= int64(len(fl.fs)) {
+		start = fl.pos
+	}
+	for i := 0; i < n; i++ {
+		j := (start + i) % len(fl.fs)
+		e := FlightEntry{Instr: fl.ins[j].String()}
+		if fl.fs[j] != nil {
+			e.Func = fl.fs[j].FName
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// FaultReport is the forensic record attached to a vm.Fault when a
+// flight recorder was armed: the faulting site, the trailing
+// instruction window, and — when the fault carries one — the offending
+// address and the memory segment it lies in. Scheme is filled by
+// callers that know which defense configuration was running.
+type FaultReport struct {
+	Kind    string        `json:"kind"`
+	Func    string        `json:"func"`
+	Instr   string        `json:"instr,omitempty"`
+	Scheme  string        `json:"scheme,omitempty"`
+	Addr    string        `json:"addr,omitempty"` // hex, e.g. "0x7efffe18"
+	Segment string        `json:"segment,omitempty"`
+	Window  []FlightEntry `json:"window"`
+}
+
+// SetAddr records the faulting address in hex form.
+func (r *FaultReport) SetAddr(addr uint64, segment string) {
+	r.Addr = fmt.Sprintf("%#x", addr)
+	r.Segment = segment
+}
+
+// Render writes the report as an indented human-readable block (the
+// pythia-attack -forensics output).
+func (r *FaultReport) Render(w io.Writer, indent string) {
+	fmt.Fprintf(w, "%s%s fault in @%s", indent, r.Kind, r.Func)
+	if r.Instr != "" {
+		fmt.Fprintf(w, " at [%s]", r.Instr)
+	}
+	fmt.Fprintln(w)
+	if r.Scheme != "" {
+		fmt.Fprintf(w, "%s  scheme: %s\n", indent, r.Scheme)
+	}
+	if r.Addr != "" {
+		fmt.Fprintf(w, "%s  address: %s (%s)\n", indent, r.Addr, r.Segment)
+	}
+	fmt.Fprintf(w, "%s  last %d instructions:\n", indent, len(r.Window))
+	for _, e := range r.Window {
+		fmt.Fprintf(w, "%s    @%-16s %s\n", indent, e.Func, e.Instr)
+	}
+}
+
+// String renders the report into a string.
+func (r *FaultReport) String() string {
+	var b strings.Builder
+	r.Render(&b, "")
+	return b.String()
+}

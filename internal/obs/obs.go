@@ -1,0 +1,110 @@
+// Package obs is the unified observability layer of the reproduction:
+// structured tracing (Chrome trace_event JSON), a metrics registry
+// (counters/gauges exposed via expvar and JSON/text dumps), and the
+// fault flight recorder that turns a bare vm.Fault into a forensic
+// report (function, site, last-N instruction window, faulting address
+// and segment).
+//
+// The layer is strictly zero-cost when disabled: nothing is active
+// unless a Session has been started (or a machine was built with an
+// explicit flight window), and the VM's per-instruction hook compiles
+// down to one nil check on the engines' existing tick paths. All
+// observability is read-only — it never touches the perf meter, the
+// RNG, or memory, so enabling it cannot change a single byte of the
+// evaluation tables.
+//
+// A Session is process-global, like expvar: the CLIs start one from
+// their flags (-trace, -hotsites, -metrics) and the subsystems pick it
+// up through Current() without any signature plumbing. Libraries that
+// want per-machine forensics without a session set vm.Config.Flight
+// directly (package attack does this for every attacked run).
+package obs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/perf"
+)
+
+// DefaultFlightWindow is the flight-recorder depth used by callers that
+// want fault forensics but have no reason to tune the window (the
+// attack engine, notably). 16 instructions is enough to see the
+// corrupting store, the hardening check that tripped, and the control
+// flow between them in every corpus case.
+const DefaultFlightWindow = 16
+
+// Session bundles the process-wide observability configuration. Fields
+// left nil/zero disable the corresponding feature individually.
+type Session struct {
+	// Trace receives compile/harden/run/bench spans and instant events.
+	Trace *TraceLog
+	// Metrics receives counters and gauges from the VM, the bench run
+	// cache, the prewarm pool, and the heap allocator.
+	Metrics *Registry
+	// Sites aggregates per-IR-site cycle attribution across every
+	// machine run while the session is active (pythia-bench -hotsites).
+	Sites *perf.SiteProf
+	// FlightDepth, when positive, arms a fault flight recorder of this
+	// many instructions on every machine built during the session.
+	FlightDepth int
+}
+
+var current atomic.Pointer[Session]
+
+// Start makes s the active session and returns it. Passing nil is
+// equivalent to Stop.
+func Start(s *Session) *Session {
+	current.Store(s)
+	return s
+}
+
+// Stop deactivates observability; subsequent machines and passes run
+// with every hook disabled.
+func Stop() { current.Store(nil) }
+
+// Current returns the active session, or nil when observability is off.
+func Current() *Session { return current.Load() }
+
+// ActiveTrace returns the active session's trace log, or nil.
+func ActiveTrace() *TraceLog {
+	if s := Current(); s != nil {
+		return s.Trace
+	}
+	return nil
+}
+
+// CurrentMetrics returns the active session's metrics registry, or nil.
+func CurrentMetrics() *Registry {
+	if s := Current(); s != nil {
+		return s.Metrics
+	}
+	return nil
+}
+
+// CurrentSites returns the active session's site profiler, or nil.
+func CurrentSites() *perf.SiteProf {
+	if s := Current(); s != nil {
+		return s.Sites
+	}
+	return nil
+}
+
+func noopEnd() {}
+
+// TraceSpan opens a span on the active trace log and returns the
+// closure that ends it; with tracing disabled it returns a no-op, so
+// call sites reduce to `defer obs.TraceSpan("name", "cat")()`.
+func TraceSpan(name, cat string) func() {
+	t := ActiveTrace()
+	if t == nil {
+		return noopEnd
+	}
+	return t.Span(name, cat)
+}
+
+// TraceInstant records an instant event on the active trace log, if any.
+func TraceInstant(name, cat string, args map[string]any) {
+	if t := ActiveTrace(); t != nil {
+		t.Instant(name, cat, args)
+	}
+}

@@ -1,0 +1,86 @@
+package perf
+
+// Per-IR-site cycle attribution: the hot-site profiler behind
+// `pythia-bench -hotsites`. Each executed instruction's dynamic count
+// and modeled cycle cost is accumulated under its (function,
+// instruction) key, aggregated across every machine run while an
+// observability session is active.
+
+import (
+	"sort"
+	"sync"
+)
+
+// SiteKey identifies one static IR site by rendered text.
+type SiteKey struct {
+	Func  string `json:"func"`
+	Instr string `json:"instr"`
+}
+
+// SiteStat is the accumulated dynamic profile of one site.
+type SiteStat struct {
+	Count  int64   `json:"count"`
+	Cycles float64 `json:"cycles"`
+}
+
+// SiteProf aggregates site profiles from concurrently running machines.
+type SiteProf struct {
+	mu    sync.Mutex
+	sites map[SiteKey]*SiteStat
+}
+
+// NewSiteProf returns an empty profiler.
+func NewSiteProf() *SiteProf {
+	return &SiteProf{sites: make(map[SiteKey]*SiteStat)}
+}
+
+// Add folds count executions worth cycles into the site's stat.
+func (p *SiteProf) Add(fn, instr string, count int64, cycles float64) {
+	k := SiteKey{Func: fn, Instr: instr}
+	p.mu.Lock()
+	st, ok := p.sites[k]
+	if !ok {
+		st = &SiteStat{}
+		p.sites[k] = st
+	}
+	st.Count += count
+	st.Cycles += cycles
+	p.mu.Unlock()
+}
+
+// Len returns the number of distinct sites recorded.
+func (p *SiteProf) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.sites)
+}
+
+// HotSite is one row of the top-N report.
+type HotSite struct {
+	SiteKey
+	SiteStat
+}
+
+// Top returns the n most cycle-expensive sites, descending by cycles
+// with a deterministic (func, instr) tie-break.
+func (p *SiteProf) Top(n int) []HotSite {
+	p.mu.Lock()
+	all := make([]HotSite, 0, len(p.sites))
+	for k, st := range p.sites {
+		all = append(all, HotSite{SiteKey: k, SiteStat: *st})
+	}
+	p.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Cycles != all[j].Cycles {
+			return all[i].Cycles > all[j].Cycles
+		}
+		if all[i].Func != all[j].Func {
+			return all[i].Func < all[j].Func
+		}
+		return all[i].Instr < all[j].Instr
+	})
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,54 @@
+package perf
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSiteProfTopOrdering(t *testing.T) {
+	p := NewSiteProf()
+	p.Add("f", "store 1, %a", 10, 100)
+	p.Add("f", "store 2, %b", 5, 300)
+	p.Add("g", "load %c", 1, 300) // ties with store 2 on cycles
+	p.Add("f", "ret void", 2, 50)
+
+	top := p.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) returned %d", len(top))
+	}
+	// Cycles descending; the 300-cycle tie breaks on (func, instr) asc.
+	if top[0].Func != "f" || top[0].Instr != "store 2, %b" {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].Func != "g" || top[1].Instr != "load %c" {
+		t.Fatalf("top[1] = %+v", top[1])
+	}
+	if top[2].Instr != "store 1, %a" || top[2].Count != 10 {
+		t.Fatalf("top[2] = %+v", top[2])
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if all := p.Top(0); len(all) != 4 {
+		t.Fatalf("Top(0) should return everything, got %d", len(all))
+	}
+}
+
+func TestSiteProfAccumulatesAndIsConcurrencySafe(t *testing.T) {
+	p := NewSiteProf()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.Add("f", "add", 1, 2.5)
+			}
+		}()
+	}
+	wg.Wait()
+	top := p.Top(1)
+	if len(top) != 1 || top[0].Count != 800 || top[0].Cycles != 2000 {
+		t.Fatalf("accumulation wrong: %+v", top)
+	}
+}

@@ -106,6 +106,73 @@ func TestCSVQuotingRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMarkdownStructure: the markdown output must be a single
+// well-formed pipe table — every row renders exactly one line with the
+// same cell count as the header, notes become blockquotes after the
+// table, and an empty table still renders header and separator.
+func TestMarkdownStructure(t *testing.T) {
+	tbl := sample()
+	tbl.AddNote("second note")
+	lines := strings.Split(strings.TrimSpace(tbl.Markdown()), "\n")
+	var tableLines, quoteLines []string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "|") {
+			tableLines = append(tableLines, ln)
+		}
+		if strings.HasPrefix(ln, "> ") {
+			quoteLines = append(quoteLines, ln)
+		}
+	}
+	// header + separator + 2 data rows
+	if len(tableLines) != 4 {
+		t.Fatalf("want 4 pipe lines, got %d:\n%s", len(tableLines), tbl.Markdown())
+	}
+	cols := strings.Count(tableLines[0], "|")
+	for i, ln := range tableLines {
+		if strings.Count(ln, "|") != cols {
+			t.Errorf("line %d has a different cell count: %q", i, ln)
+		}
+	}
+	if len(quoteLines) != 2 || quoteLines[1] != "> second note" {
+		t.Fatalf("notes rendered wrong: %q", quoteLines)
+	}
+
+	empty := &report.Table{ID: "e", Title: "empty", Columns: []string{"a", "b"}}
+	md := empty.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("empty table lost its header:\n%s", md)
+	}
+}
+
+// TestCSVCommentRowsRoundTrip: a table carrying several notes must
+// produce CSV whose data parses identically whether the reader skips
+// '#' comments or the notes are filtered by hand — i.e. notes live only
+// in comment rows and never contaminate the data records.
+func TestCSVCommentRowsRoundTrip(t *testing.T) {
+	tbl := sample()
+	tbl.AddNote("geomean: %.2f", 2.5)
+	raw := tbl.CSV()
+
+	r := csv.NewReader(strings.NewReader(raw))
+	r.Comment = '#'
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse with comment support: %v\n%s", err, raw)
+	}
+	if len(recs) != 3 { // header + 2 rows; both notes skipped
+		t.Fatalf("want 3 records, got %d: %q", len(recs), recs)
+	}
+	if recs[0][0] != "benchmark" || recs[1][0] != "lbm" || recs[2][0] != "gcc" {
+		t.Fatalf("data rows wrong: %q", recs)
+	}
+	// Both notes survive as comment rows for human readers.
+	for _, want := range []string{"# average: 41.0", "# geomean: 2.50"} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("CSV missing comment row %q:\n%s", want, raw)
+		}
+	}
+}
+
 // TestStringOverlongRow: AddRow with more cells than Columns used to
 // panic with index out of range in writeRow; it must render every cell.
 func TestStringOverlongRow(t *testing.T) {

@@ -64,6 +64,9 @@ func (m *Machine) dtick(d *dfunc, in *ir.Instr, site int32) {
 	if m.Trace != nil {
 		m.Trace(d.f, in)
 	}
+	if m.obs != nil {
+		m.obsTick(d.f, in)
+	}
 	if site >= 0 && !d.siteSeen[site] {
 		d.siteSeen[site] = true
 		m.siteHits[in] = true
@@ -343,7 +346,7 @@ blockLoop:
 				want := pa.GenericMAC(val, addr, m.Keys.APGA)
 				// Hardware verifies only the PAC-width truncation of the MAC.
 				if mac>>(64-pa.PACBits) != want>>(64-pa.PACBits) {
-					panic(m.fault(FaultPAC, f, di.in, fmt.Errorf("sealed scalar at %#x corrupted", addr)))
+					panic(m.fault(FaultPAC, f, di.in, &sealError{Addr: addr}))
 				}
 				slots[di.dst] = val
 
@@ -360,7 +363,7 @@ blockLoop:
 				if want, sealed := m.objMAC[addr]; sealed {
 					got := m.objectMAC(f, di.in, addr, size)
 					if got>>(64-pa.PACBits) != want>>(64-pa.PACBits) {
-						panic(m.fault(FaultPAC, f, di.in, fmt.Errorf("sealed object at %#x (%d bytes) corrupted", addr, size)))
+						panic(m.fault(FaultPAC, f, di.in, &sealError{Addr: addr, Size: size, object: true}))
 					}
 				}
 
@@ -388,7 +391,7 @@ blockLoop:
 						}
 					}
 					if !allowed {
-						panic(m.fault(FaultDFI, f, di.in, fmt.Errorf("dfi: def #%d not permitted at %#x", id, addr)))
+						panic(m.fault(FaultDFI, f, di.in, &dfiError{ID: id, Addr: addr}))
 					}
 				}
 

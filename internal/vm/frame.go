@@ -172,12 +172,12 @@ func (m *Machine) canaryCheckAt(f *ir.Func, in *ir.Instr, slot uint64) {
 		panic(m.fault(FaultSegv, f, in, err))
 	}
 	if _, ok := pa.Auth(v, slot, m.Keys.APGA); !ok {
-		panic(m.fault(FaultCanary, f, in, fmt.Errorf("canary at %#x corrupted (value %#x)", slot, v)))
+		panic(m.fault(FaultCanary, f, in, &canaryError{Addr: slot, Val: v}))
 	}
 	// A forged value may pass Auth with probability 2^-24; the shadow
 	// catches the discrepancy so brute-force statistics stay exact.
 	if want, ok := m.canaryShadow[slot]; ok && want != v {
-		panic(m.fault(FaultCanary, f, in, fmt.Errorf("canary at %#x replaced with validly-signed forgery", slot)))
+		panic(m.fault(FaultCanary, f, in, &canaryError{Addr: slot, forged: true}))
 	}
 }
 

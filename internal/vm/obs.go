@@ -1,0 +1,278 @@
+package vm
+
+// Observability wiring for the interpreter. Both engines' tick paths
+// gained exactly one extra branch — `if m.obs != nil` — so with
+// observability off the hot loop is unchanged; with it on, obsTick feeds
+// the fault flight recorder, the per-opcode dynamic histogram, and the
+// per-site cycle attribution that backs `pythia-bench -hotsites`.
+//
+// Observability is strictly read-only: it inspects the meter and the IR
+// but never touches memory, the RNG, or the counters, so arming it
+// cannot perturb a single byte of the evaluation output.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/pa"
+	"repro/internal/perf"
+)
+
+// Typed hardening-fault errors. These replace the anonymous
+// fmt.Errorf values the engines used to panic with so forensics can
+// recover the faulting address without parsing message strings; their
+// Error() renderings are byte-identical to the old messages (the
+// engine-differential tests and attack output compare those strings).
+
+type canaryError struct {
+	Addr   uint64
+	Val    uint64
+	forged bool
+}
+
+func (e *canaryError) Error() string {
+	if e.forged {
+		return fmt.Sprintf("canary at %#x replaced with validly-signed forgery", e.Addr)
+	}
+	return fmt.Sprintf("canary at %#x corrupted (value %#x)", e.Addr, e.Val)
+}
+
+type sealError struct {
+	Addr   uint64
+	Size   int
+	object bool
+}
+
+func (e *sealError) Error() string {
+	if e.object {
+		return fmt.Sprintf("sealed object at %#x (%d bytes) corrupted", e.Addr, e.Size)
+	}
+	return fmt.Sprintf("sealed scalar at %#x corrupted", e.Addr)
+}
+
+type dfiError struct {
+	ID   int
+	Addr uint64
+}
+
+func (e *dfiError) Error() string {
+	return fmt.Sprintf("dfi: def #%d not permitted at %#x", e.ID, e.Addr)
+}
+
+// faultAddress extracts the memory address a fault concerns, when the
+// underlying error carries one.
+func faultAddress(err error) (uint64, bool) {
+	var mf *mem.Fault
+	if errors.As(err, &mf) {
+		return mf.Addr, true
+	}
+	var ae *pa.AuthError
+	if errors.As(err, &ae) {
+		return ae.Ptr, true
+	}
+	var ce *canaryError
+	if errors.As(err, &ce) {
+		return ce.Addr, true
+	}
+	var se *sealError
+	if errors.As(err, &se) {
+		return se.Addr, true
+	}
+	var de *dfiError
+	if errors.As(err, &de) {
+		return de.Addr, true
+	}
+	return 0, false
+}
+
+// siteAccum buffers one instruction's dynamic profile machine-locally;
+// obsFlush folds the buffer into the shared SiteProf in one pass so the
+// hot loop never takes the profiler's lock.
+type siteAccum struct {
+	f      *ir.Func
+	count  int64
+	cycles float64
+}
+
+// obsState is a machine's observability attachment; nil when disabled.
+type obsState struct {
+	flight *obs.Flight
+	reg    *obs.Registry
+	sites  *perf.SiteProf
+
+	// hist counts dynamic executions per opcode (flushed to the registry
+	// as vm.op.<name> counters).
+	hist []int64
+
+	// local accumulates per-site counts and attributed cycles. Cycle
+	// attribution is by delta: the meter charge between two consecutive
+	// ticks belongs to the earlier instruction (tick runs before the
+	// opcode's own work), so each tick closes out the previous site.
+	local   map[*ir.Instr]*siteAccum
+	prevF   *ir.Func
+	prevIn  *ir.Instr
+	prevCyc float64
+
+	// decodedCalls/refCalls count engine routing decisions.
+	decodedCalls, refCalls int64
+
+	// flushed... remember what obsFlush already reported so a machine
+	// that Runs more than once only publishes deltas.
+	flushedInstrs  int64
+	flushedPA      int64
+	flushedCanary  int64
+	flushedDFI     int64
+	flushedLoads   int64
+	flushedStores  int64
+	flushedCycles  float64
+	flushedDecoded int64
+	flushedRef     int64
+	flushedHeap    [2]heap.Stats
+}
+
+// newObsState arms observability for a machine being built: an explicit
+// Config.Flight always arms the flight recorder; an active session adds
+// its registry/site profiler (and its FlightDepth when the config did
+// not set one). Returns nil when every feature is off.
+func newObsState(cfg Config) *obsState {
+	s := obs.Current()
+	depth := cfg.Flight
+	if depth <= 0 && s != nil {
+		depth = s.FlightDepth
+	}
+	var st *obsState
+	if depth > 0 {
+		st = &obsState{flight: obs.NewFlight(depth)}
+	}
+	if s != nil && (s.Metrics != nil || s.Sites != nil) {
+		if st == nil {
+			st = &obsState{}
+		}
+		st.reg = s.Metrics
+		st.sites = s.Sites
+		if st.reg != nil {
+			st.hist = make([]int64, ir.NumOps())
+		}
+		if st.sites != nil {
+			st.local = make(map[*ir.Instr]*siteAccum)
+		}
+	}
+	return st
+}
+
+// obsTick observes one retired instruction (both engines call it from
+// their tick under a nil guard).
+func (m *Machine) obsTick(f *ir.Func, in *ir.Instr) {
+	o := m.obs
+	if o.flight != nil {
+		o.flight.Record(f, in)
+	}
+	if o.hist != nil {
+		o.hist[in.Op]++
+	}
+	if o.local != nil {
+		cyc := m.Meter.C.Cycles
+		if o.prevIn != nil {
+			acc, ok := o.local[o.prevIn]
+			if !ok {
+				acc = &siteAccum{f: o.prevF}
+				o.local[o.prevIn] = acc
+			}
+			acc.count++
+			acc.cycles += cyc - o.prevCyc
+		}
+		o.prevF, o.prevIn, o.prevCyc = f, in, cyc
+	}
+}
+
+// obsForensics builds the flight-recorder report for a fault.
+func (m *Machine) obsForensics(flt *Fault) *obs.FaultReport {
+	if m.obs == nil || m.obs.flight == nil {
+		return nil
+	}
+	r := &obs.FaultReport{
+		Kind:   flt.Kind.String(),
+		Func:   flt.Func,
+		Instr:  flt.Instr,
+		Window: m.obs.flight.Window(),
+	}
+	if addr, ok := faultAddress(flt.Err); ok {
+		r.SetAddr(addr, mem.SegmentName(addr))
+	}
+	return r
+}
+
+// obsFlush publishes everything accumulated since the last flush: the
+// trailing cycle delta, the site profile, the opcode histogram, engine
+// routing, curated counter deltas, and heap arena stats.
+func (m *Machine) obsFlush() {
+	o := m.obs
+	if o == nil {
+		return
+	}
+	c := m.Meter.C
+	if o.local != nil {
+		// Attribute the cycles charged after the last tick (the final
+		// instruction's own work) before folding into the shared profile.
+		if o.prevIn != nil {
+			acc, ok := o.local[o.prevIn]
+			if !ok {
+				acc = &siteAccum{f: o.prevF}
+				o.local[o.prevIn] = acc
+			}
+			acc.count++
+			acc.cycles += c.Cycles - o.prevCyc
+			o.prevIn = nil
+		}
+		for in, acc := range o.local {
+			fn := ""
+			if acc.f != nil {
+				fn = acc.f.FName
+			}
+			o.sites.Add(fn, in.String(), acc.count, acc.cycles)
+			delete(o.local, in)
+		}
+	}
+	if o.reg == nil {
+		return
+	}
+	for op, n := range o.hist {
+		if n != 0 {
+			o.reg.Add("vm.op."+ir.Op(op).String(), n)
+			o.hist[op] = 0
+		}
+	}
+	o.reg.Add("vm.instrs", c.Instrs-o.flushedInstrs)
+	o.reg.Add("vm.pa.ops", c.PAInstrs-o.flushedPA)
+	o.reg.Add("vm.canary.ops", c.CanaryOps-o.flushedCanary)
+	o.reg.Add("vm.dfi.ops", c.DFIOps-o.flushedDFI)
+	o.reg.Add("vm.loads", c.Loads-o.flushedLoads)
+	o.reg.Add("vm.stores", c.Stores-o.flushedStores)
+	o.reg.Gauge("vm.cycles").Add(c.Cycles - o.flushedCycles)
+	o.reg.Add("vm.engine.decoded_calls", o.decodedCalls-o.flushedDecoded)
+	o.reg.Add("vm.engine.reference_calls", o.refCalls-o.flushedRef)
+	o.flushedInstrs, o.flushedPA, o.flushedCanary = c.Instrs, c.PAInstrs, c.CanaryOps
+	o.flushedDFI, o.flushedLoads, o.flushedStores = c.DFIOps, c.Loads, c.Stores
+	o.flushedCycles = c.Cycles
+	o.flushedDecoded, o.flushedRef = o.decodedCalls, o.refCalls
+
+	sections := [2]struct {
+		name string
+		st   heap.Stats
+	}{
+		{"shared", m.Heap.Shared.Stats()},
+		{"isolated", m.Heap.Isolated.Stats()},
+	}
+	for i, sec := range sections {
+		prev := o.flushedHeap[i]
+		o.reg.Add("heap."+sec.name+".allocs", int64(sec.st.Allocs-prev.Allocs))
+		o.reg.Add("heap."+sec.name+".frees", int64(sec.st.Frees-prev.Frees))
+		o.reg.Gauge("heap." + sec.name + ".bytes_in_use").Set(float64(sec.st.BytesInUse))
+		o.reg.Gauge("heap." + sec.name + ".peak_in_use").Max(float64(sec.st.PeakInUse))
+		o.flushedHeap[i] = sec.st
+	}
+}

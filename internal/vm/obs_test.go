@@ -1,0 +1,177 @@
+package vm_test
+
+// Tests for the VM's observability attachment: enabling it must not
+// change any observable result, faults must carry forensic windows with
+// the right address/segment, and the metrics/site outputs must be
+// consistent with the perf counters.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+	"repro/internal/obs"
+	"repro/internal/perf"
+	"repro/internal/vm"
+)
+
+const obsProg = `
+int work(int n) {
+	int a[4];
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < n; i = i + 1) {
+		a[i % 4] = i;
+		s = s + a[i % 4];
+	}
+	return s;
+}
+int main() {
+	printf("s=%d\n", work(40));
+	return 0;
+}
+`
+
+func runWith(t *testing.T, cfg vm.Config) *vm.Result {
+	t.Helper()
+	mod, err := minic.Compile("t", obsProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(mod, cfg)
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestObsDoesNotPerturbExecution: the same program run bare, with a
+// flight recorder, and under a full metrics+sites session must produce
+// bit-identical results.
+func TestObsDoesNotPerturbExecution(t *testing.T) {
+	base := runWith(t, vm.Config{Seed: 7})
+
+	flight := runWith(t, vm.Config{Seed: 7, Flight: 32})
+
+	sess := obs.Start(&obs.Session{
+		Metrics:     obs.NewRegistry(),
+		Sites:       perf.NewSiteProf(),
+		FlightDepth: 16,
+	})
+	full := runWith(t, vm.Config{Seed: 7})
+	obs.Stop()
+
+	for name, res := range map[string]*vm.Result{"flight": flight, "session": full} {
+		if res.Ret != base.Ret || !bytes.Equal(res.Stdout, base.Stdout) {
+			t.Errorf("%s: result diverged", name)
+		}
+		if *res.Counters != *base.Counters {
+			t.Errorf("%s: counters diverged:\n  base: %+v\n  obs:  %+v", name, *base.Counters, *res.Counters)
+		}
+	}
+
+	// The session must have seen the run: instrs mirrored into the
+	// registry, cycles attributed to sites.
+	snap := sess.Metrics.Snapshot()
+	if snap.Counters["vm.instrs"] != base.Counters.Instrs {
+		t.Errorf("vm.instrs = %d, want %d", snap.Counters["vm.instrs"], base.Counters.Instrs)
+	}
+	if snap.Counters["vm.engine.decoded_calls"] == 0 {
+		t.Error("decoded engine routing not counted")
+	}
+	var opSum int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "vm.op.") {
+			opSum += v
+		}
+	}
+	if opSum != base.Counters.Instrs {
+		t.Errorf("opcode histogram sums to %d, want %d", opSum, base.Counters.Instrs)
+	}
+	var cycSum float64
+	for _, h := range sess.Sites.Top(0) {
+		cycSum += h.Cycles
+	}
+	// Site attribution covers every cycle charged from the first tick to
+	// the end-of-run flush. The only cost outside that range is the
+	// one-time heap-sectioning setup charged before the first instruction.
+	model := perf.DefaultModel()
+	want := base.Counters.Cycles - model.NSToCycles(model.HeapSectionInit)
+	if diff := cycSum - want; diff > 1 || diff < -1 {
+		t.Errorf("site cycles %v, want %v (total %v minus section init)", cycSum, want, base.Counters.Cycles)
+	}
+}
+
+// TestObsTraceParityBothEngines: obs must observe through both engines.
+func TestObsSessionReferenceEngine(t *testing.T) {
+	sess := obs.Start(&obs.Session{Metrics: obs.NewRegistry()})
+	defer obs.Stop()
+	res := runWith(t, vm.Config{Seed: 7, Reference: true})
+	snap := sess.Metrics.Snapshot()
+	if snap.Counters["vm.instrs"] != res.Counters.Instrs {
+		t.Errorf("vm.instrs = %d, want %d", snap.Counters["vm.instrs"], res.Counters.Instrs)
+	}
+	if snap.Counters["vm.engine.reference_calls"] == 0 {
+		t.Error("reference engine routing not counted")
+	}
+}
+
+const segvProg = `
+int main() {
+	int *p;
+	p = (int *)16;
+	return *p;
+}
+`
+
+// TestFaultForensics: a machine armed via Config.Flight must attach a
+// populated report to its fault — window, address, segment.
+func TestFaultForensics(t *testing.T) {
+	mod, err := minic.Compile("t", segvProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(mod, vm.Config{Seed: 7, Flight: obs.DefaultFlightWindow})
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault == nil {
+		t.Fatal("wild dereference must fault")
+	}
+	r := res.Fault.Forensics
+	if r == nil {
+		t.Fatal("armed machine's fault has no forensics")
+	}
+	if r.Kind != "segv" || r.Func != "main" {
+		t.Errorf("report misattributed: %+v", r)
+	}
+	if len(r.Window) == 0 {
+		t.Error("flight window is empty")
+	}
+	if r.Addr != "0x10" || r.Segment != "unmapped" {
+		t.Errorf("addr/segment = %q/%q, want 0x10/unmapped", r.Addr, r.Segment)
+	}
+	if !strings.Contains(r.String(), "segv fault in @main") {
+		t.Errorf("rendering wrong:\n%s", r)
+	}
+}
+
+// TestNoForensicsWhenDisarmed: a bare machine's faults carry no report.
+func TestNoForensicsWhenDisarmed(t *testing.T) {
+	mod, err := minic.Compile("t", segvProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(mod, vm.Config{Seed: 7})
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault == nil || res.Fault.Forensics != nil {
+		t.Fatalf("disarmed machine grew forensics: %+v", res.Fault)
+	}
+}

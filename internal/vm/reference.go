@@ -249,7 +249,7 @@ func (m *Machine) refExecInstr(fr *refFrame, in *ir.Instr) {
 		want := pa.GenericMAC(val, addr, m.Keys.APGA)
 		// Hardware verifies only the PAC-width truncation of the MAC.
 		if mac>>(64-pa.PACBits) != want>>(64-pa.PACBits) {
-			panic(m.fault(FaultPAC, f, in, fmt.Errorf("sealed scalar at %#x corrupted", addr)))
+			panic(m.fault(FaultPAC, f, in, &sealError{Addr: addr}))
 		}
 		fr.regs[in] = val
 
@@ -264,7 +264,7 @@ func (m *Machine) refExecInstr(fr *refFrame, in *ir.Instr) {
 		if want, sealed := m.objMAC[addr]; sealed {
 			got := m.objectMAC(f, in, addr, size)
 			if got>>(64-pa.PACBits) != want>>(64-pa.PACBits) {
-				panic(m.fault(FaultPAC, f, in, fmt.Errorf("sealed object at %#x (%d bytes) corrupted", addr, size)))
+				panic(m.fault(FaultPAC, f, in, &sealError{Addr: addr, Size: size, object: true}))
 			}
 		}
 
@@ -291,7 +291,7 @@ func (m *Machine) refExecInstr(fr *refFrame, in *ir.Instr) {
 				}
 			}
 			if !allowed {
-				panic(m.fault(FaultDFI, f, in, fmt.Errorf("dfi: def #%d not permitted at %#x", id, addr)))
+				panic(m.fault(FaultDFI, f, in, &dfiError{ID: id, Addr: addr}))
 			}
 		}
 

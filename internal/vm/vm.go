@@ -25,6 +25,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/ir"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pa"
 	"repro/internal/perf"
 )
@@ -98,6 +99,11 @@ type Machine struct {
 
 	// Trace, when non-nil, receives every executed instruction.
 	Trace func(f *ir.Func, in *ir.Instr)
+
+	// obs is the machine's observability attachment (flight recorder,
+	// metrics, site profiling); nil whenever observability is disabled,
+	// so the engines' tick paths pay one nil check.
+	obs *obsState
 }
 
 // Config bundles machine construction options.
@@ -111,6 +117,16 @@ type Config struct {
 	// engines must produce byte-identical results — and costs roughly
 	// 2× the run time; production callers leave it false.
 	Reference bool
+
+	// Trace, when non-nil, receives every executed instruction (set on
+	// the machine; also settable after New).
+	Trace func(f *ir.Func, in *ir.Instr)
+
+	// Flight arms a fault flight recorder keeping the last N executed
+	// instructions, independent of any obs.Session; faults then carry a
+	// Forensics report. Zero leaves the recorder to the session's
+	// FlightDepth (off when no session is active).
+	Flight int
 }
 
 // New loads mod into a fresh machine image.
@@ -144,7 +160,9 @@ func New(mod *ir.Module, cfg Config) *Machine {
 		decoded:      make(map[*ir.Func]*dfunc),
 		plans:        make(map[*ir.Func]*ir.StackPlan),
 		ref:          cfg.Reference,
+		Trace:        cfg.Trace,
 	}
+	m.obs = newObsState(cfg)
 	m.layoutImage()
 	return m
 }
@@ -193,6 +211,10 @@ type Fault struct {
 	// Func/Instr locate the faulting instruction when known.
 	Func  string
 	Instr string
+
+	// Forensics is the flight-recorder report, present when the machine
+	// was built with a flight window (Config.Flight or an obs.Session).
+	Forensics *obs.FaultReport
 }
 
 // FaultKind enumerates crash causes.
@@ -263,6 +285,9 @@ func (m *Machine) Run(fname string, args ...uint64) (*Result, error) {
 		m.sectionInitDone = true
 	}
 	ret, fault := m.call(f, args)
+	if m.obs != nil {
+		m.obsFlush()
+	}
 	res := &Result{Ret: ret, Fault: fault, Counters: m.Meter.C, Stdout: m.Stdout, SitesExecuted: len(m.siteHits)}
 	return res, nil
 }
@@ -280,6 +305,7 @@ func (m *Machine) fault(kind FaultKind, f *ir.Func, in *ir.Instr, err error) *ex
 	if in != nil {
 		flt.Instr = in.String()
 	}
+	flt.Forensics = m.obsForensics(flt)
 	return &execError{f: flt}
 }
 
@@ -306,13 +332,22 @@ const maxDepth = 400
 // opcode.
 func (m *Machine) invoke(f *ir.Func, args []uint64) uint64 {
 	if m.ref {
+		if m.obs != nil {
+			m.obs.refCalls++
+		}
 		return m.refInvoke(f, args)
 	}
 	d := m.decodedFunc(f)
 	if d.refOnly {
 		// Functions the decoder cannot prove def-before-use for keep the
 		// exact lazy fault semantics of the tree walker.
+		if m.obs != nil {
+			m.obs.refCalls++
+		}
 		return m.refInvoke(f, args)
+	}
+	if m.obs != nil {
+		m.obs.decodedCalls++
 	}
 	return m.execDecoded(d, args)
 }
@@ -322,6 +357,9 @@ func (m *Machine) invoke(f *ir.Func, args []uint64) uint64 {
 func (m *Machine) tick(f *ir.Func, in *ir.Instr) {
 	if m.Trace != nil {
 		m.Trace(f, in)
+	}
+	if m.obs != nil {
+		m.obsTick(f, in)
 	}
 	if in.Op.IsHardening() {
 		m.siteHits[in] = true

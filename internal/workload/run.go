@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/vm"
 )
@@ -44,6 +45,7 @@ func Build(p *Profile, scheme core.Scheme) (*core.Program, error) {
 // input, returning the measurements. A fault is a harness bug: the
 // generated programs must run clean under every scheme.
 func Run(p *Profile, scheme core.Scheme) (*RunResult, error) {
+	defer obs.TraceSpan(fmt.Sprintf("workload %s [%v]", p.Name, scheme), "bench")()
 	prog, err := Build(p, scheme)
 	if err != nil {
 		return nil, err

@@ -3,13 +3,66 @@
 package cmd_test
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"strings"
+	"sync"
 	"testing"
 )
+
+// builtBinary compiles the named cmd package once per test process and
+// returns the binary path — for tests that assert on exit codes, which
+// `go run` flattens to 1.
+var (
+	binMu    sync.Mutex
+	binPaths = map[string]string{}
+)
+
+func builtBinary(t *testing.T, pkg string) string {
+	t.Helper()
+	binMu.Lock()
+	defer binMu.Unlock()
+	if p, ok := binPaths[pkg]; ok {
+		return p
+	}
+	dir, err := os.MkdirTemp("", "pythia-cmd-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := dir + "/" + pkg
+	build := exec.Command("go", "build", "-o", bin, "./cmd/"+pkg)
+	build.Dir = ".."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	binPaths[pkg] = bin
+	return bin
+}
+
+// expectExit2 runs the built pythia-bench with args and asserts the
+// PR 1 flag-validation convention: exit status 2, the diagnostic, a
+// usage dump, and no experiment output.
+func expectExit2(t *testing.T, bin string, wantDiag string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = ".."
+	out, err := cmd.CombinedOutput()
+	exit, isExit := err.(*exec.ExitError)
+	if !isExit || exit.ExitCode() != 2 {
+		t.Fatalf("want exit status 2, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), wantDiag) || !strings.Contains(string(out), "Usage") {
+		t.Fatalf("missing diagnostic %q or usage:\n%s", wantDiag, out)
+	}
+	if strings.Contains(string(out), "E[tries]") {
+		t.Fatalf("experiment must not run under invalid flags:\n%s", out)
+	}
+}
 
 func run(t *testing.T, args ...string) string {
 	t.Helper()
@@ -128,23 +181,253 @@ func TestPythiaBenchMarkdownFormat(t *testing.T) {
 // Built and invoked directly because `go run` maps every child failure
 // to its own exit status 1.
 func TestPythiaBenchRejectsUnknownFormat(t *testing.T) {
-	bin := t.TempDir() + "/pythia-bench"
-	build := exec.Command("go", "build", "-o", bin, "./cmd/pythia-bench")
-	build.Dir = ".."
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("build: %v\n%s", err, out)
+	expectExit2(t, builtBinary(t, "pythia-bench"), `invalid -format "bogus"`,
+		"-experiment", "bruteforce", "-format", "bogus")
+}
+
+// TestPythiaBenchRejectsBadRepeat / UnwritableSave / UnwritableMetrics /
+// CompareWithoutBaseline: every continuous-benchmarking flag error must
+// follow the -format convention — descriptive diagnostic, usage, exit 2,
+// nothing executed.
+func TestPythiaBenchRejectsBadRepeat(t *testing.T) {
+	expectExit2(t, builtBinary(t, "pythia-bench"), "invalid -repeat 0",
+		"-experiment", "bruteforce", "-repeat", "0")
+}
+
+func TestPythiaBenchRejectsUnwritableSave(t *testing.T) {
+	expectExit2(t, builtBinary(t, "pythia-bench"), "unwritable -save path",
+		"-experiment", "bruteforce", "-save", "/nonexistent-dir-pythia/x.json")
+}
+
+func TestPythiaBenchRejectsUnwritableMetrics(t *testing.T) {
+	expectExit2(t, builtBinary(t, "pythia-bench"), "unwritable -metrics path",
+		"-experiment", "bruteforce", "-metrics", "/nonexistent-dir-pythia/m.json")
+}
+
+func TestPythiaBenchCompareWithoutBaseline(t *testing.T) {
+	expectExit2(t, builtBinary(t, "pythia-bench"), "-compare needs -baseline",
+		"-experiment", "bruteforce", "-compare")
+}
+
+func TestPythiaBenchRejectsUnreadableBaseline(t *testing.T) {
+	expectExit2(t, builtBinary(t, "pythia-bench"), "invalid -baseline",
+		"-experiment", "bruteforce", "-compare", "-baseline", "/nonexistent-dir-pythia/b.json")
+}
+
+// TestPythiaBenchSaveCompareCycle drives the whole continuous-bench
+// loop: save a history record, compare against it (zero regressions,
+// exit 0), then artificially deflate the baseline's modeled cycles and
+// watch -compare exit non-zero with a rendered verdict table.
+func TestPythiaBenchSaveCompareCycle(t *testing.T) {
+	bin := builtBinary(t, "pythia-bench")
+	hist := t.TempDir() + "/BENCH_test.json"
+
+	save := exec.Command(bin, "-experiment", "fig4a", "-quick", "-repeat", "2", "-save", hist)
+	save.Dir = ".."
+	if out, err := save.CombinedOutput(); err != nil {
+		t.Fatalf("save run: %v\n%s", err, out)
 	}
-	cmd := exec.Command(bin, "-experiment", "bruteforce", "-format", "bogus")
-	out, err := cmd.CombinedOutput()
+
+	cmp := exec.Command(bin, "-experiment", "fig4a", "-quick", "-baseline", hist, "-compare")
+	cmp.Dir = ".."
+	out, err := cmp.CombinedOutput()
+	if err != nil {
+		t.Fatalf("self-compare must exit 0: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "compare-modeled") || !strings.Contains(string(out), "exact") {
+		t.Fatalf("verdict table missing:\n%s", out)
+	}
+	if strings.Contains(string(out), "REGRESSED") {
+		t.Fatalf("self-compare reported a regression:\n%s", out)
+	}
+
+	// Deflate every baseline cycle count by half: the unchanged current
+	// run now looks 2x slower than baseline.
+	f, err := os.Open(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(f)
+	var recs []map[string]any
+	for dec.More() {
+		var m map[string]any
+		if err := dec.Decode(&m); err != nil {
+			t.Fatalf("history decode: %v", err)
+		}
+		recs = append(recs, m)
+	}
+	f.Close()
+	if len(recs) == 0 {
+		t.Fatal("no history records saved")
+	}
+	for _, rec := range recs {
+		for _, r := range rec["runs"].([]any) {
+			rm := r.(map[string]any)
+			rm["cycles"] = rm["cycles"].(float64) * 0.5
+		}
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(hist, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmp = exec.Command(bin, "-experiment", "fig4a", "-quick", "-baseline", hist, "-compare")
+	cmp.Dir = ".."
+	out, err = cmp.CombinedOutput()
 	exit, isExit := err.(*exec.ExitError)
-	if !isExit || exit.ExitCode() != 2 {
-		t.Fatalf("want exit status 2, got %v:\n%s", err, out)
+	if !isExit || exit.ExitCode() != 1 {
+		t.Fatalf("inflated baseline must exit 1, got %v:\n%s", err, out)
 	}
-	if !strings.Contains(string(out), `invalid -format "bogus"`) || !strings.Contains(string(out), "Usage") {
-		t.Fatalf("missing diagnostic/usage:\n%s", out)
+	if !strings.Contains(string(out), "REGRESSED") || !strings.Contains(string(out), "regression:") {
+		t.Fatalf("regression verdicts missing:\n%s", out)
 	}
-	if strings.Contains(string(out), "E[tries]") {
-		t.Fatalf("experiment must not run under an invalid format:\n%s", out)
+}
+
+// TestPythiaBenchServe starts a sweep with the live observability
+// server and exercises every endpoint while experiments run.
+func TestPythiaBenchServe(t *testing.T) {
+	bin := builtBinary(t, "pythia-bench")
+	cmd := exec.Command(bin, "-experiment", "fig4a", "-quick", "-repeat", "3", "-serve", "127.0.0.1:0")
+	cmd.Dir = ".."
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The serve line prints before the sweep starts; find the address,
+	// then keep draining stderr so the child never blocks on the pipe.
+	sc := bufio.NewScanner(stderr)
+	base := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); strings.Contains(line, "# serving observability") && i >= 0 {
+			base = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		t.Fatalf("serve line not found on stderr (stdout so far: %s)", stdout.String())
+	}
+	go io.Copy(io.Discard, stderr)
+
+	get := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+	if got := string(get("/healthz")); got != "ok\n" {
+		t.Errorf("/healthz = %q", got)
+	}
+	var vars struct {
+		Pythia json.RawMessage `json:"pythia"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil || len(vars.Pythia) == 0 {
+		t.Errorf("/debug/vars missing pythia registry (err=%v)", err)
+	}
+	if len(get("/debug/pprof/")) == 0 {
+		t.Error("/debug/pprof/ empty")
+	}
+	var hot struct {
+		Sites []json.RawMessage `json:"sites"`
+	}
+	if err := json.Unmarshal(get("/hotsites?n=10"), &hot); err != nil {
+		t.Errorf("/hotsites does not parse: %v", err)
+	}
+	var prog struct {
+		Total   int `json:"total"`
+		Repeats int `json:"repeats"`
+	}
+	if err := json.Unmarshal(get("/progress"), &prog); err != nil || prog.Total != 3 || prog.Repeats != 3 {
+		t.Errorf("/progress wrong: %+v (err=%v)", prog, err)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve run failed: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "fig4a") {
+		t.Fatalf("table stream lost under -serve:\n%s", stdout.String())
+	}
+}
+
+// TestPythiaAttackMetricsFile / TestPythiacMetricsFile: the -metrics
+// flag parity — both CLIs dump the registry they populate.
+func TestPythiaAttackMetricsFile(t *testing.T) {
+	path := t.TempDir() + "/m.json"
+	run(t, "./cmd/pythia-attack", "-case", "scanf-scalar-taint", "-scheme", "pythia", "-metrics", path)
+	checkMetricsFile(t, path)
+}
+
+func TestPythiacMetricsFile(t *testing.T) {
+	path := t.TempDir() + "/m.json"
+	run(t, "./cmd/pythiac", "-scheme", "pythia", "-stdin", "testdata/benign.txt", "-metrics", path, "testdata/demo.c")
+	checkMetricsFile(t, path)
+}
+
+func checkMetricsFile(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("metrics dump does not parse: %v\n%s", err, b)
+	}
+	if len(doc.Counters) == 0 {
+		t.Fatalf("metrics dump has no counters: %s", b)
+	}
+	// The VM must have reported instruction traffic.
+	found := false
+	for name := range doc.Counters {
+		if strings.HasPrefix(name, "vm.") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no vm.* counters in dump: %s", b)
+	}
+}
+
+// TestPythiaAttackMetricsText: "-" dumps aligned text to stderr.
+func TestPythiaAttackMetricsText(t *testing.T) {
+	cmd := exec.Command("go", "run", "./cmd/pythia-attack", "-case", "scanf-scalar-taint", "-scheme", "pythia", "-metrics", "-")
+	cmd.Dir = ".."
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		if _, isExit := err.(*exec.ExitError); !isExit {
+			t.Fatalf("%v\n%s", err, stderr.String())
+		}
+	}
+	if !strings.Contains(stderr.String(), "vm.instrs") {
+		t.Fatalf("text metrics dump missing from stderr:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "vm.instrs") {
+		t.Fatal("metrics text leaked onto stdout")
 	}
 }
 
@@ -287,9 +570,16 @@ func TestPythiaBenchQuickGolden(t *testing.T) {
 func TestPythiaBenchJSON(t *testing.T) {
 	out := runStdout(t, "./cmd/pythia-bench", "-experiment", "fig4a", "-quick", "-json")
 	var doc struct {
-		PoolSize   int     `json:"pool_size"`
-		PrewarmMS  float64 `json:"prewarm_ms"`
-		TotalMS    float64 `json:"total_ms"`
+		Repeat    int     `json:"repeat"`
+		PoolSize  int     `json:"pool_size"`
+		PrewarmMS float64 `json:"prewarm_ms"`
+		TotalMS   float64 `json:"total_ms"`
+		Env       struct {
+			GoVersion  string `json:"go_version"`
+			GOOS       string `json:"goos"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			NumCPU     int    `json:"num_cpu"`
+		} `json:"env"`
 		CacheStats struct {
 			RunHits   int `json:"RunHits"`
 			RunMisses int `json:"RunMisses"`
@@ -321,6 +611,12 @@ func TestPythiaBenchJSON(t *testing.T) {
 	}
 	if doc.CacheStats.RunMisses == 0 {
 		t.Fatalf("cache stats missing: %+v", doc.CacheStats)
+	}
+	// The environment fingerprint rides along so saved documents are
+	// interpretable on other hosts.
+	if doc.Repeat != 1 || !strings.HasPrefix(doc.Env.GoVersion, "go") ||
+		doc.Env.GOOS == "" || doc.Env.GOMAXPROCS <= 0 || doc.Env.NumCPU <= 0 {
+		t.Fatalf("env fingerprint missing from -json: repeat=%d env=%+v", doc.Repeat, doc.Env)
 	}
 	if e.CacheRunHits == 0 || e.CacheRunMisses != 0 {
 		t.Fatalf("per-experiment cache delta wrong (want all hits post-prewarm): %+v", e)

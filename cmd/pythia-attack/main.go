@@ -10,6 +10,7 @@
 //	pythia-attack -scheme pythia        # all cases, one scheme
 //	pythia-attack -json                 # Outcome matrix as one JSON document
 //	pythia-attack -forensics            # flight-recorder window under each detection
+//	pythia-attack -metrics m.json       # metrics registry dump ("-" = text to stderr)
 //	pythia-attack -list
 //
 // Every attacked machine runs with the fault flight recorder armed, so a
@@ -42,8 +43,45 @@ func main() {
 		list       = flag.Bool("list", false, "list attack cases and exit")
 		jsonOut    = flag.Bool("json", false, "emit the outcome matrix as one JSON document")
 		forensics  = flag.Bool("forensics", false, "print the flight-recorder report under each detection")
+		metrics    = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
 	)
 	flag.Parse()
+
+	// writeMetrics dumps the registry populated during the run; called
+	// explicitly before the final exit because os.Exit skips defers.
+	writeMetrics := func() {}
+	if *metrics != "" {
+		if *metrics != "-" {
+			if f, err := os.OpenFile(*metrics, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "pythia-attack: unwritable -metrics path: %v\n", err)
+				flag.Usage()
+				os.Exit(2)
+			} else {
+				f.Close()
+			}
+		}
+		reg := obs.Default()
+		obs.Start(&obs.Session{Metrics: reg})
+		path := *metrics
+		writeMetrics = func() {
+			obs.Stop()
+			if path == "-" {
+				reg.WriteText(os.Stderr)
+				return
+			}
+			f, err := os.Create(path)
+			if err == nil {
+				err = reg.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pythia-attack:", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *list {
 		for _, c := range attack.Corpus() {
@@ -116,6 +154,7 @@ func main() {
 		}
 		fmt.Println(string(out))
 	}
+	writeMetrics()
 	os.Exit(exitCode)
 }
 

@@ -15,14 +15,30 @@
 //	pythia-bench -hotsites 20     # top-N IR sites by attributed cycles
 //	pythia-bench -metrics m.json  # metrics registry dump ("-" = text to stderr)
 //
+// Continuous benchmarking:
+//
+//	pythia-bench -quick -repeat 3 -save BENCH_abc123.json
+//	pythia-bench -quick -repeat 3 -baseline BENCH_abc123.json -compare
+//	pythia-bench -serve 127.0.0.1:8080   # live observability server
+//
+// -repeat re-runs the whole sweep N times with a fresh run cache each
+// time, collecting wall-time samples; modeled metrics are deterministic
+// and identical across repeats. -save appends a history record (env
+// fingerprint, per-run modeled cycles, wall samples, metrics snapshot)
+// to the file. -compare measures the current run against the newest
+// record in -baseline: modeled metrics gate the exit code (non-zero on
+// growth beyond -threshold percent), wall times are judged with robust
+// statistics and reported only. -serve exposes /healthz, /debug/vars,
+// /debug/pprof/*, /hotsites and /progress while the sweep runs.
+//
 // All (profile, scheme) executions the selected experiments declare are
 // pre-warmed through a shared memoized run cache, so overlapping
 // experiments pay for each pair once. Tables go to stdout; per-experiment
 // wall times and cache statistics go to stderr, keeping the table stream
 // byte-identical between sequential fresh and parallel cached runs.
-// The observability flags (-trace, -hotsites, -metrics) likewise leave
-// stdout untouched: traces and metrics go to their files, the hot-site
-// report to stderr.
+// The observability flags (-trace, -hotsites, -metrics, -serve) likewise
+// leave stdout untouched: traces and metrics go to their files, the
+// hot-site report to stderr, the server to its socket.
 package main
 
 import (
@@ -56,49 +72,118 @@ type jsonTable struct {
 	Notes     []string   `json:"notes,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"`
 
+	// WallMSSamples carries one wall time per -repeat (ElapsedMS is the
+	// first sample, kept for compatibility).
+	WallMSSamples []float64 `json:"wall_ms_samples,omitempty"`
+
 	// Run-cache traffic attributed to this experiment (delta across its
 	// Run call; prewarmed work shows up as hits here).
 	CacheRunHits   int `json:"cache_run_hits"`
 	CacheRunMisses int `json:"cache_run_misses"`
 }
 
+type jsonCompare struct {
+	Baseline    string      `json:"baseline"`
+	Threshold   float64     `json:"threshold_pct"`
+	Regressions []string    `json:"regressions"`
+	Tables      []jsonTable `json:"tables"`
+}
+
 type jsonDoc struct {
-	Quick       bool        `json:"quick"`
-	Parallel    int         `json:"parallel"`
-	PoolSize    int         `json:"pool_size"`
-	PrewarmMS   float64     `json:"prewarm_ms"`
-	TotalMS     float64     `json:"total_ms"`
-	CacheStats  bench.Stats `json:"cache_stats"`
-	Experiments []jsonTable `json:"experiments"`
+	Quick       bool                 `json:"quick"`
+	Parallel    int                  `json:"parallel"`
+	Repeat      int                  `json:"repeat"`
+	Env         bench.EnvFingerprint `json:"env"`
+	PoolSize    int                  `json:"pool_size"`
+	PrewarmMS   float64              `json:"prewarm_ms"`
+	TotalMS     float64              `json:"total_ms"`
+	CacheStats  bench.Stats          `json:"cache_stats"`
+	Experiments []jsonTable          `json:"experiments"`
+	Compare     *jsonCompare         `json:"compare,omitempty"`
+}
+
+// usageError prints the diagnostic plus usage and exits 2 — the flag
+// validation convention shared by every error path below.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pythia-bench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// checkWritable verifies the file at path can be created or appended
+// to, without truncating existing content.
+func checkWritable(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func main() {
 	var (
-		expID    = flag.String("experiment", "", "run only this experiment id (see -list)")
-		quick    = flag.Bool("quick", false, "run on a 3-benchmark subset")
-		format   = flag.String("format", "ascii", "output format: ascii, csv, markdown")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		parallel = flag.Int("parallel", 0, "pre-warm worker pool size (0 = GOMAXPROCS)")
-		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON document instead of rendered tables")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
-		hotsites = flag.Int("hotsites", 0, "report the top-N IR sites by attributed cycles (0 = off)")
-		metrics  = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
+		expID     = flag.String("experiment", "", "run only this experiment id (see -list)")
+		quick     = flag.Bool("quick", false, "run on a 3-benchmark subset")
+		format    = flag.String("format", "ascii", "output format: ascii, csv, markdown")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		parallel  = flag.Int("parallel", 0, "pre-warm worker pool size (0 = GOMAXPROCS)")
+		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON document instead of rendered tables")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+		hotsites  = flag.Int("hotsites", 0, "report the top-N IR sites by attributed cycles (0 = off)")
+		metrics   = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
+		repeat    = flag.Int("repeat", 1, "run the sweep N times (fresh run cache each) collecting wall-time samples")
+		savePath  = flag.String("save", "", "append a bench history record (BENCH_<rev>.json format) to this file")
+		baseline  = flag.String("baseline", "", "history file to compare against (newest record)")
+		compare   = flag.Bool("compare", false, "compare this run against -baseline and render a verdict table")
+		threshold = flag.Float64("threshold", 0, "allowed modeled-metric growth percent before -compare regresses")
+		serveAddr = flag.String("serve", "", "serve live observability HTTP endpoints on this address during the run")
 	)
 	flag.Parse()
 
+	render, ok := renderers[*format]
+	if !ok {
+		usageError("invalid -format %q (valid: ascii, csv, markdown)", *format)
+	}
+	if *repeat < 1 {
+		usageError("invalid -repeat %d: need at least one run per experiment", *repeat)
+	}
+	if *compare && *baseline == "" {
+		usageError("-compare needs -baseline <file> to compare against")
+	}
+	var baseRec *bench.Record
+	if *compare {
+		var err error
+		if baseRec, err = bench.LatestRecord(*baseline); err != nil {
+			usageError("invalid -baseline: %v", err)
+		}
+	}
+	if *savePath != "" {
+		if err := checkWritable(*savePath); err != nil {
+			usageError("unwritable -save path: %v", err)
+		}
+	}
+	if *metrics != "" && *metrics != "-" {
+		if err := checkWritable(*metrics); err != nil {
+			usageError("unwritable -metrics path: %v", err)
+		}
+	}
+
 	var sess *obs.Session
-	if *traceOut != "" || *hotsites > 0 || *metrics != "" {
+	if *traceOut != "" || *hotsites > 0 || *metrics != "" || *savePath != "" || *serveAddr != "" {
 		sess = &obs.Session{}
 		if *traceOut != "" {
 			sess.Trace = obs.NewTraceLog()
 		}
-		if *hotsites > 0 {
+		if *hotsites > 0 || *serveAddr != "" {
 			sess.Sites = perf.NewSiteProf()
 		}
-		if *metrics != "" {
+		if *metrics != "" || *savePath != "" || *serveAddr != "" {
 			sess.Metrics = obs.Default()
+		}
+		if *serveAddr != "" {
+			sess.Progress = &obs.Progress{}
 		}
 		obs.Start(sess)
 		defer obs.Stop()
@@ -131,13 +216,6 @@ func main() {
 		}()
 	}
 
-	render, ok := renderers[*format]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "pythia-bench: invalid -format %q (valid: ascii, csv, markdown)\n", *format)
-		flag.Usage()
-		os.Exit(2)
-	}
-
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
@@ -155,59 +233,177 @@ func main() {
 		exps = []bench.Experiment{e}
 	}
 
-	cfg := bench.DefaultConfig()
-	cfg.Quick = *quick
-	cfg.Parallel = *parallel
-
-	start := time.Now()
-	pool := cfg.Prewarm(exps)
-	prewarm := time.Since(start)
-
-	doc := jsonDoc{Quick: *quick, Parallel: *parallel, PoolSize: pool, PrewarmMS: ms(prewarm)}
-	for _, e := range exps {
-		before := cfg.Runner().Stats()
-		t0 := time.Now()
-		endSpan := obs.TraceSpan("experiment "+e.ID, "bench")
-		tbl, err := e.Run(cfg)
-		endSpan()
-		elapsed := time.Since(t0)
+	if *serveAddr != "" {
+		srv, err := obs.StartServer(*serveAddr, sess)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pythia-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			usageError("-serve %s: %v", *serveAddr, err)
 		}
-		after := cfg.Runner().Stats()
-		if *jsonOut {
-			doc.Experiments = append(doc.Experiments, jsonTable{
-				ID: tbl.ID, Title: tbl.Title, Columns: tbl.Columns,
-				Rows: tbl.Rows, Notes: tbl.Notes, ElapsedMS: ms(elapsed),
-				CacheRunHits:   after.RunHits - before.RunHits,
-				CacheRunMisses: after.RunMisses - before.RunMisses,
-			})
-			continue
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# serving observability on http://%s (/healthz /debug/vars /debug/pprof/ /hotsites /progress)\n", srv.Addr())
+	}
+
+	if sess != nil && sess.Progress != nil {
+		sess.Progress.Begin(len(exps)**repeat, *repeat)
+	}
+
+	// The repeat loop: each repeat gets a fresh config (and with it a
+	// fresh run cache), so every repeat pays the full modeled execution
+	// and its wall times are honest samples rather than cache lookups.
+	// Tables and the JSON document come from the first repeat — modeled
+	// results are deterministic, so later repeats only add wall samples.
+	doc := jsonDoc{Quick: *quick, Parallel: *parallel, Repeat: *repeat, Env: bench.Fingerprint()}
+	tables := make([]*report.Table, len(exps))
+	wallSamples := make([][]float64, len(exps))
+	var totalMS, prewarmMS []float64
+	var firstRunner *bench.Runner
+	start := time.Now()
+	for rep := 1; rep <= *repeat; rep++ {
+		cfg := bench.DefaultConfig()
+		cfg.Quick = *quick
+		cfg.Parallel = *parallel
+
+		repStart := time.Now()
+		pool := cfg.Prewarm(exps)
+		prewarm := time.Since(repStart)
+		prewarmMS = append(prewarmMS, ms(prewarm))
+		if rep == 1 {
+			doc.PoolSize = pool
+			doc.PrewarmMS = ms(prewarm)
 		}
-		fmt.Println(render(tbl))
-		fmt.Fprintf(os.Stderr, "# %-12s %7.3fs\n", e.ID, elapsed.Seconds())
+
+		for i, e := range exps {
+			before := cfg.Runner().Stats()
+			if sess != nil && sess.Progress != nil {
+				sess.Progress.StartExperiment(e.ID, rep)
+			}
+			t0 := time.Now()
+			endSpan := obs.TraceSpan("experiment "+e.ID, "bench")
+			tbl, err := e.Run(cfg)
+			endSpan()
+			elapsed := time.Since(t0)
+			if sess != nil && sess.Progress != nil {
+				sess.Progress.FinishExperiment(e.ID, rep, elapsed)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pythia-bench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			wallSamples[i] = append(wallSamples[i], ms(elapsed))
+			if rep > 1 {
+				continue
+			}
+			tables[i] = tbl
+			after := cfg.Runner().Stats()
+			if *jsonOut {
+				doc.Experiments = append(doc.Experiments, jsonTable{
+					ID: tbl.ID, Title: tbl.Title, Columns: tbl.Columns,
+					Rows: tbl.Rows, Notes: tbl.Notes, ElapsedMS: ms(elapsed),
+					CacheRunHits:   after.RunHits - before.RunHits,
+					CacheRunMisses: after.RunMisses - before.RunMisses,
+				})
+				continue
+			}
+			fmt.Println(render(tbl))
+			fmt.Fprintf(os.Stderr, "# %-12s %7.3fs\n", e.ID, elapsed.Seconds())
+		}
+		totalMS = append(totalMS, ms(time.Since(repStart)))
+		if rep == 1 {
+			firstRunner = cfg.Runner()
+		} else {
+			fmt.Fprintf(os.Stderr, "# repeat %d/%d %7.3fs\n", rep, *repeat, time.Since(repStart).Seconds())
+		}
+	}
+	if sess != nil && sess.Progress != nil {
+		sess.Progress.Finish()
 	}
 
 	total := time.Since(start)
-	stats := cfg.Runner().Stats()
+	stats := firstRunner.Stats()
 	if *jsonOut {
 		doc.TotalMS = ms(total)
 		doc.CacheStats = stats
+		if *repeat > 1 {
+			for i := range doc.Experiments {
+				doc.Experiments[i].WallMSSamples = wallSamples[i]
+			}
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "# total %.3fs (prewarm %.3fs); runs %d executed / %d served cached; analyses %d executed / %d served cached\n",
+			total.Seconds(), prewarmMS[0]/1e3,
+			stats.RunMisses, stats.RunHits, stats.AnalysisMisses, stats.AnalysisHits)
+	}
+
+	// History: build the record once, then save and/or compare with it.
+	var rec *bench.Record
+	if *savePath != "" || *compare {
+		rec = &bench.Record{
+			Schema:    bench.HistorySchema,
+			SavedAt:   time.Now().UTC().Format(time.RFC3339),
+			Env:       doc.Env,
+			Quick:     *quick,
+			Repeat:    *repeat,
+			TotalMS:   totalMS,
+			PrewarmMS: prewarmMS,
+			Runs:      bench.RunRecordsFrom(firstRunner),
+		}
+		for i, e := range exps {
+			rec.Experiments = append(rec.Experiments, bench.ExperimentRecord{
+				ID:          e.ID,
+				TableDigest: bench.TableDigest(tables[i]),
+				WallMS:      wallSamples[i],
+			})
+		}
+		if sess != nil && sess.Metrics != nil {
+			snap := sess.Metrics.Snapshot()
+			rec.Metrics = &snap
+		}
+	}
+	if *savePath != "" {
+		if err := bench.AppendRecord(*savePath, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# saved history record -> %s\n", *savePath)
+	}
+
+	regressed := false
+	if *compare {
+		cmp := bench.Compare(rec, baseRec, *threshold)
+		regs := cmp.Regressions()
+		regressed = len(regs) > 0
+		if *jsonOut {
+			jc := &jsonCompare{Baseline: *baseline, Threshold: *threshold, Regressions: regs}
+			if jc.Regressions == nil {
+				jc.Regressions = []string{}
+			}
+			for _, t := range cmp.Tables() {
+				jc.Tables = append(jc.Tables, jsonTable{ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes})
+			}
+			doc.Compare = jc
+		} else {
+			for _, t := range cmp.Tables() {
+				fmt.Println(render(t))
+			}
+		}
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "pythia-bench: regression: %s\n", r)
+		}
+	}
+
+	if *jsonOut {
 		out, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
 			os.Exit(1)
 		}
 		fmt.Println(string(out))
-	} else {
-		fmt.Fprintf(os.Stderr, "# total %.3fs (prewarm %.3fs); runs %d executed / %d served cached; analyses %d executed / %d served cached\n",
-			total.Seconds(), prewarm.Seconds(),
-			stats.RunMisses, stats.RunHits, stats.AnalysisMisses, stats.AnalysisHits)
 	}
 
 	if sess != nil {
 		finishObs(sess, *traceOut, *metrics, *hotsites)
+	}
+	if regressed {
+		os.Exit(1)
 	}
 }
 

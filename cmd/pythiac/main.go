@@ -40,6 +40,7 @@ func main() {
 		stdinFile  = flag.String("stdin", "", "file whose contents become the program's stdin")
 		seed       = flag.Int64("seed", 42, "machine seed (keys, canary RNG)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+		metrics    = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,16 +48,52 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// writeTrace flushes the trace file; called explicitly on every exit
-	// path because os.Exit skips deferred functions.
-	writeTrace := func() {}
-	if *traceOut != "" {
-		trace := obs.NewTraceLog()
-		obs.Start(&obs.Session{Trace: trace})
-		path := *traceOut
-		writeTrace = func() {
+	if *metrics != "" && *metrics != "-" {
+		f, err := os.OpenFile(*metrics, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pythiac: unwritable -metrics path: %v\n", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		f.Close()
+	}
+	// flushObs writes the trace file and metrics dump; called explicitly
+	// on every exit path because os.Exit skips deferred functions.
+	// (Kept as writeTrace's successor: one closure for both outputs.)
+	flushObs := func() {}
+	if *traceOut != "" || *metrics != "" {
+		sess := &obs.Session{}
+		if *traceOut != "" {
+			sess.Trace = obs.NewTraceLog()
+		}
+		if *metrics != "" {
+			sess.Metrics = obs.Default()
+		}
+		obs.Start(sess)
+		tracePath, metricsPath := *traceOut, *metrics
+		flushObs = func() {
 			obs.Stop()
-			if err := trace.WriteFile(path); err != nil {
+			if sess.Trace != nil {
+				if err := sess.Trace.WriteFile(tracePath); err != nil {
+					fmt.Fprintf(os.Stderr, "pythiac: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			if sess.Metrics == nil {
+				return
+			}
+			if metricsPath == "-" {
+				sess.Metrics.WriteText(os.Stderr)
+				return
+			}
+			f, err := os.Create(metricsPath)
+			if err == nil {
+				err = sess.Metrics.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "pythiac: %v\n", err)
 				os.Exit(1)
 			}
@@ -92,7 +129,7 @@ func main() {
 			fatal("compile: %v", err)
 		}
 		printAnalysis(mod)
-		writeTrace()
+		flushObs()
 		return
 	}
 
@@ -108,7 +145,7 @@ func main() {
 
 	if *emitIR {
 		fmt.Print(prog.Mod.String())
-		writeTrace()
+		flushObs()
 		return
 	}
 
@@ -132,11 +169,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "binary size: %d bytes   static defense instrs: %d\n", core.BinarySize(prog.Mod), prog.Protection.PAInstrs())
 	if res.Fault != nil {
 		fmt.Fprintf(os.Stderr, "FAULT: %v\n", res.Fault)
-		writeTrace()
+		flushObs()
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "exit value: %d\n", int64(res.Ret))
-	writeTrace()
+	flushObs()
 }
 
 func printAnalysis(mod *ir.Module) {

@@ -45,6 +45,11 @@ type Runner struct {
 	analyses map[string]*analysisEntry
 	stats    Stats
 
+	// done holds every successfully completed run, recorded under mu
+	// after its once fires; Results reads it without touching the
+	// entries' once state, so it is safe alongside in-flight runs.
+	done map[runKey]*workload.RunResult
+
 	// reg mirrors the hit/miss counters into the observability session
 	// active when the Runner was built (nil when none was).
 	reg *obs.Registry
@@ -61,6 +66,7 @@ func NewRunner() *Runner {
 	return &Runner{
 		runs:     make(map[runKey]*runEntry),
 		analyses: make(map[string]*analysisEntry),
+		done:     make(map[runKey]*workload.RunResult),
 		reg:      obs.CurrentMetrics(),
 	}
 }
@@ -94,7 +100,26 @@ func (r *Runner) Run(p *workload.Profile, scheme core.Scheme) (*workload.RunResu
 	}
 	pp := *p // detach from the caller so later mutation can't race the build
 	e.once.Do(func() { e.res, e.err = workload.Run(&pp, scheme) })
+	if e.err == nil && e.res != nil {
+		r.mu.Lock()
+		r.done[k] = e.res
+		r.mu.Unlock()
+	}
 	return e.res, e.err
+}
+
+// Results returns every run the cache has completed so far, one per
+// (profile fingerprint, scheme) pair, in unspecified order. The bench
+// history layer snapshots this after an evaluation sweep to record the
+// modeled (deterministic) metrics of each run.
+func (r *Runner) Results() []*workload.RunResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*workload.RunResult, 0, len(r.done))
+	for _, res := range r.done {
+		out = append(out, res)
+	}
+	return out
 }
 
 // Schemes returns runs of p under vanilla plus each requested scheme,

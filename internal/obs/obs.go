@@ -44,6 +44,9 @@ type Session struct {
 	// Sites aggregates per-IR-site cycle attribution across every
 	// machine run while the session is active (pythia-bench -hotsites).
 	Sites *perf.SiteProf
+	// Progress tracks sweep completion for the live observability
+	// server's /progress endpoint (pythia-bench -serve).
+	Progress *Progress
 	// FlightDepth, when positive, arms a fault flight recorder of this
 	// many instructions on every machine built during the session.
 	FlightDepth int

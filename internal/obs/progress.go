@@ -1,0 +1,106 @@
+package obs
+
+// Progress tracks a long-running evaluation sweep — which experiment
+// of which repeat is executing, which are done, and how long each
+// took — for the /progress endpoint of the observability server. It is
+// concurrency-safe: the bench loop writes while HTTP handlers read.
+
+import (
+	"sync"
+	"time"
+)
+
+// ProgressEntry is one completed experiment execution.
+type ProgressEntry struct {
+	ID        string  `json:"id"`
+	Repeat    int     `json:"repeat"` // 1-based repeat index
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ProgressSnapshot is the /progress JSON document.
+type ProgressSnapshot struct {
+	// Total experiment executions planned (experiments x repeats) and
+	// how many have completed.
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Repeats   int `json:"repeats"`
+	// Current is the experiment executing right now ("" between
+	// experiments or after the sweep finished).
+	Current       string          `json:"current,omitempty"`
+	CurrentRepeat int             `json:"current_repeat,omitempty"`
+	Finished      bool            `json:"finished"`
+	ElapsedMS     float64         `json:"elapsed_ms"`
+	Done          []ProgressEntry `json:"done"`
+}
+
+// Progress is the tracker; the zero value is ready to use.
+type Progress struct {
+	mu      sync.Mutex
+	total   int
+	repeats int
+	current string
+	rep     int
+	done    []ProgressEntry
+	started time.Time
+	ended   time.Time
+}
+
+// Begin declares the sweep's shape: total experiment executions across
+// repeats repeats.
+func (p *Progress) Begin(total, repeats int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total, p.repeats = total, repeats
+	p.started = time.Now()
+	p.ended = time.Time{}
+	p.done = nil
+	p.current, p.rep = "", 0
+}
+
+// StartExperiment marks id (1-based repeat rep) as executing.
+func (p *Progress) StartExperiment(id string, rep int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.current, p.rep = id, rep
+}
+
+// FinishExperiment records id's completion.
+func (p *Progress) FinishExperiment(id string, rep int, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done = append(p.done, ProgressEntry{ID: id, Repeat: rep, ElapsedMS: float64(elapsed.Nanoseconds()) / 1e6})
+	if p.current == id && p.rep == rep {
+		p.current, p.rep = "", 0
+	}
+}
+
+// Finish marks the whole sweep complete.
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ended = time.Now()
+	p.current, p.rep = "", 0
+}
+
+// Snapshot returns a copy safe to serialize concurrently with writers.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		Total:         p.total,
+		Completed:     len(p.done),
+		Repeats:       p.repeats,
+		Current:       p.current,
+		CurrentRepeat: p.rep,
+		Finished:      !p.ended.IsZero(),
+		Done:          append([]ProgressEntry(nil), p.done...),
+	}
+	if !p.started.IsZero() {
+		end := p.ended
+		if end.IsZero() {
+			end = time.Now()
+		}
+		s.ElapsedMS = float64(end.Sub(p.started).Nanoseconds()) / 1e6
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package obs
+
+// The live observability server: the repo's first net/http surface.
+// `pythia-bench -serve addr` mounts it for the duration of a sweep,
+// and any long-running embedder (e.g. the nginx-like serving loop) can
+// reuse NewMux/StartServer to expose the same endpoints:
+//
+//	/healthz        liveness probe ("ok")
+//	/debug/vars     the expvar registry (the Default metrics registry
+//	                publishes itself there as "pythia")
+//	/debug/pprof/*  the standard Go profiling handlers
+//	/hotsites?n=N   top-N IR sites by attributed cycles (JSON)
+//	/progress       per-experiment sweep completion (JSON)
+//
+// Every handler reads shared state that the running sweep is mutating
+// concurrently; all of it goes through the owning types' locks
+// (Registry, SiteProf, Progress), so serving is race-free by
+// construction — obs/server_test.go pins that under -race.
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"repro/internal/perf"
+)
+
+// NewMux builds the observability handler set over the session's
+// state. Nil session fields degrade gracefully: /hotsites serves an
+// empty list and /progress an empty snapshot.
+func NewMux(sess *Session) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/hotsites", func(w http.ResponseWriter, r *http.Request) {
+		n := 20
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				http.Error(w, "hotsites: n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		top := []perf.HotSite{}
+		if sess != nil && sess.Sites != nil {
+			top = sess.Sites.Top(n)
+		}
+		writeJSON(w, struct {
+			Sites []perf.HotSite `json:"sites"`
+		}{top})
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		var snap ProgressSnapshot
+		if sess != nil && sess.Progress != nil {
+			snap = sess.Progress.Snapshot()
+		}
+		if snap.Done == nil {
+			snap.Done = []ProgressEntry{}
+		}
+		writeJSON(w, snap)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr (e.g. "127.0.0.1:0" for an ephemeral
+// port) and serves the session's observability mux in a background
+// goroutine. The returned Server reports the bound address and closes
+// on demand.
+func StartServer(addr string, sess *Session) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(sess)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any idle connections.
+func (s *Server) Close() error { return s.srv.Close() }

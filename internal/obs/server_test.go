@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/perf"
+)
+
+// get fetches a path from the test server and returns the body,
+// failing the test on transport errors or non-200 statuses.
+func get(t *testing.T, base, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestServerEndpoints checks every endpoint answers with well-formed
+// content over a populated session.
+func TestServerEndpoints(t *testing.T) {
+	sess := &Session{
+		Metrics:  Default(),
+		Sites:    perf.NewSiteProf(),
+		Progress: &Progress{},
+	}
+	sess.Metrics.Add("server_test.counter", 3)
+	sess.Sites.Add("main", "add %1, %2", 10, 42.5)
+	sess.Progress.Begin(4, 2)
+	sess.Progress.StartExperiment("fig4a", 1)
+	sess.Progress.FinishExperiment("fig4a", 1, 15*time.Millisecond)
+
+	ts := httptest.NewServer(NewMux(sess))
+	defer ts.Close()
+
+	if got := string(get(t, ts.URL, "/healthz")); got != "ok\n" {
+		t.Errorf("/healthz = %q", got)
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get(t, ts.URL, "/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars does not parse: %v", err)
+	}
+	var pythia struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(vars["pythia"], &pythia); err != nil {
+		t.Fatalf("expvar 'pythia' does not parse: %v", err)
+	}
+	if pythia.Counters["server_test.counter"] != 3 {
+		t.Errorf("registry not visible through /debug/vars: %v", pythia.Counters)
+	}
+
+	if body := get(t, ts.URL, "/debug/pprof/"); len(body) == 0 {
+		t.Error("/debug/pprof/ empty")
+	}
+
+	var hot struct {
+		Sites []perf.HotSite `json:"sites"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL, "/hotsites?n=10"), &hot); err != nil {
+		t.Fatalf("/hotsites does not parse: %v", err)
+	}
+	if len(hot.Sites) != 1 || hot.Sites[0].Func != "main" || hot.Sites[0].Cycles != 42.5 {
+		t.Errorf("/hotsites wrong content: %+v", hot.Sites)
+	}
+
+	var prog ProgressSnapshot
+	if err := json.Unmarshal(get(t, ts.URL, "/progress"), &prog); err != nil {
+		t.Fatalf("/progress does not parse: %v", err)
+	}
+	if prog.Total != 4 || prog.Repeats != 2 || prog.Completed != 1 || prog.Done[0].ID != "fig4a" {
+		t.Errorf("/progress wrong content: %+v", prog)
+	}
+
+	// Bad query parameter: descriptive 400, not a panic.
+	resp, err := http.Get(ts.URL + "/hotsites?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/hotsites?n=bogus: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerNilSessionFields: handlers must degrade gracefully when
+// the session has no sites or progress.
+func TestServerNilSessionFields(t *testing.T) {
+	ts := httptest.NewServer(NewMux(&Session{}))
+	defer ts.Close()
+	var hot struct {
+		Sites []perf.HotSite `json:"sites"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL, "/hotsites"), &hot); err != nil {
+		t.Fatalf("/hotsites (nil sites) does not parse: %v", err)
+	}
+	if len(hot.Sites) != 0 {
+		t.Errorf("expected empty site list, got %+v", hot.Sites)
+	}
+	var prog ProgressSnapshot
+	if err := json.Unmarshal(get(t, ts.URL, "/progress"), &prog); err != nil {
+		t.Fatalf("/progress (nil progress) does not parse: %v", err)
+	}
+	get(t, ts.URL, "/healthz")
+}
+
+// TestServerRace hammers every read endpoint while writer goroutines
+// mutate the registry, the site profiler, and the progress tracker —
+// the serve-mode interleaving of a live bench run. Run under -race in
+// CI (obs is in the race-full package list and the -short sweep).
+func TestServerRace(t *testing.T) {
+	sess := &Session{
+		Metrics:  NewRegistry(),
+		Sites:    perf.NewSiteProf(),
+		Progress: &Progress{},
+	}
+	// NewMux serves /debug/vars from the process-global expvar table, so
+	// mutate the Default registry too to cross that path with readers.
+	ts := httptest.NewServer(NewMux(sess))
+	defer ts.Close()
+
+	sess.Progress.Begin(64, 4)
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sess.Metrics.Add("race.counter", 1)
+				sess.Metrics.Gauge("race.gauge").Set(float64(i))
+				Default().Add("race.default.counter", 1)
+				sess.Sites.Add("fn", fmt.Sprintf("instr%d", i%8), 1, 1.5)
+				id := fmt.Sprintf("exp%d", i%8)
+				sess.Progress.StartExperiment(id, w+1)
+				sess.Progress.FinishExperiment(id, w+1, time.Microsecond)
+				// Yield so the HTTP serving goroutines make progress even
+				// with the race detector serializing everything.
+				time.Sleep(50 * time.Microsecond)
+			}
+		}(w)
+	}
+
+	paths := []string{"/healthz", "/debug/vars", "/debug/pprof/", "/hotsites?n=10", "/progress"}
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 10; i++ {
+				for _, p := range paths {
+					resp, err := http.Get(ts.URL + p)
+					if err != nil {
+						t.Errorf("GET %s: %v", p, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("GET %s: status %d", p, resp.StatusCode)
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	sess.Progress.Finish()
+	if snap := sess.Progress.Snapshot(); !snap.Finished || snap.Completed == 0 {
+		t.Errorf("progress snapshot after race: %+v", snap)
+	}
+}

@@ -1,0 +1,201 @@
+// Package stats provides the robust sample statistics behind the
+// continuous-benchmarking subsystem: median/MAD outlier rejection,
+// bootstrap confidence intervals, and a Mann-Whitney U test for
+// wall-time comparisons. No external dependencies.
+//
+// Modeled-cycle metrics of the simulated machine are deterministic and
+// compared exactly by the bench history layer; this package exists for
+// the wall-clock side, where samples are noisy and small (typically
+// the 3-10 repeats of a `pythia-bench -repeat N` run). Everything here
+// is deterministic: the bootstrap uses an explicit seed, and the U
+// test uses the normal approximation with tie correction, which is the
+// standard choice for automated perf gating (exact small-sample tables
+// would add precision the underlying timing noise does not have).
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Median returns the middle value of xs (mean of the two middle values
+// for even lengths). It does not modify xs. NaN on empty input.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation from the median — the
+// robust spread estimator used for outlier rejection. NaN on empty
+// input.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return Median(dev)
+}
+
+// RejectOutliers returns the samples within k MADs of the median,
+// preserving order. A zero MAD (majority of samples identical) keeps
+// every sample: with no spread estimate there is no principled cut,
+// and dropping to the exact-match set would discard legitimate timing
+// variation. k <= 0 defaults to 3.5, the conventional robust cutoff.
+func RejectOutliers(xs []float64, k float64) []float64 {
+	if k <= 0 {
+		k = 3.5
+	}
+	m, mad := Median(xs), MAD(xs)
+	if len(xs) == 0 || mad == 0 || math.IsNaN(mad) {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-m) <= k*mad {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the interval (inclusive).
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Overlaps reports whether the two intervals share any point.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// BootstrapCI returns a percentile-bootstrap confidence interval for
+// the median of xs. confidence is the two-sided level (e.g. 0.95);
+// resamples is the bootstrap iteration count (<= 0 defaults to 1000).
+// The resampling RNG is seeded explicitly so results are reproducible.
+// With zero or one sample the interval degenerates to that point.
+func BootstrapCI(xs []float64, confidence float64, resamples int, seed int64) Interval {
+	switch len(xs) {
+	case 0:
+		return Interval{Lo: math.NaN(), Hi: math.NaN()}
+	case 1:
+		return Interval{Lo: xs[0], Hi: xs[0]}
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medians := make([]float64, resamples)
+	sample := make([]float64, len(xs))
+	for i := range medians {
+		for j := range sample {
+			sample[j] = xs[rng.Intn(len(xs))]
+		}
+		medians[i] = Median(sample)
+	}
+	sort.Float64s(medians)
+	alpha := (1 - confidence) / 2
+	lo := int(alpha * float64(resamples))
+	hi := int((1 - alpha) * float64(resamples))
+	if hi >= resamples {
+		hi = resamples - 1
+	}
+	return Interval{Lo: medians[lo], Hi: medians[hi]}
+}
+
+// UTestResult carries the Mann-Whitney U statistic and its two-sided
+// p-value under the normal approximation with tie correction and
+// continuity correction.
+type UTestResult struct {
+	U float64 // min(U_a, U_b)
+	Z float64 // standardized statistic (0 when variance degenerates)
+	P float64 // two-sided p-value; 1 when no evidence of a difference
+}
+
+// MannWhitneyU compares two independent samples without assuming a
+// distribution. Small p means the samples likely come from shifted
+// distributions; direction is the caller's to read off the medians.
+// Degenerate inputs (either sample empty, or all values tied so the
+// rank variance is zero) return P = 1: no evidence either way.
+func MannWhitneyU(a, b []float64) UTestResult {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return UTestResult{P: 1}
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Average ranks over tie groups; accumulate the tie correction term
+	// sum(t^3 - t) as we go.
+	rankSumA := 0.0
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		avgRank := (float64(i+1) + float64(j)) / 2
+		for k := i; k < j; k++ {
+			if all[k].fromA {
+				rankSumA += avgRank
+			}
+		}
+		tieTerm += t*t*t - t
+		i = j
+	}
+
+	u1 := rankSumA - n1*(n1+1)/2
+	u2 := n1*n2 - u1
+	u := math.Min(u1, u2)
+
+	n := n1 + n2
+	mu := n1 * n2 / 2
+	variance := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if variance <= 0 {
+		return UTestResult{U: u, P: 1}
+	}
+	// Continuity correction: U is discrete on a half-integer grid.
+	z := (math.Abs(u-mu) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	p := 2 * (1 - stdNormalCDF(z))
+	if p > 1 {
+		p = 1
+	}
+	return UTestResult{U: u, Z: z, P: p}
+}
+
+// stdNormalCDF is Phi, via the error function.
+func stdNormalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	approx(t, "median odd", Median([]float64{3, 1, 2}), 2, 0)
+	approx(t, "median even", Median([]float64{4, 1, 3, 2}), 2.5, 0)
+	approx(t, "median single", Median([]float64{7}), 7, 0)
+	if !math.IsNaN(Median(nil)) {
+		t.Error("median of empty input must be NaN")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	// median 3, |dev| = [2 1 0 1 97], median dev = 1.
+	approx(t, "MAD", MAD([]float64{1, 2, 3, 4, 100}), 1, 0)
+	approx(t, "MAD constant", MAD([]float64{5, 5, 5}), 0, 0)
+}
+
+func TestRejectOutliers(t *testing.T) {
+	got := RejectOutliers([]float64{1, 2, 3, 4, 100}, 3.5)
+	want := []float64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("RejectOutliers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RejectOutliers = %v, want %v", got, want)
+		}
+	}
+	// Zero MAD (majority identical): keep everything.
+	got = RejectOutliers([]float64{5, 5, 5, 9}, 3.5)
+	if len(got) != 4 {
+		t.Fatalf("zero-MAD rejection must keep all samples, got %v", got)
+	}
+	// k <= 0 uses the 3.5 default.
+	got = RejectOutliers([]float64{1, 2, 3, 4, 100}, 0)
+	if len(got) != 4 {
+		t.Fatalf("default k: got %v", got)
+	}
+}
+
+// TestMannWhitneyUSeparated checks the no-ties golden case
+// a=[1 2 3] vs b=[4 5 6]: U=0, z=(4.5-0.5)/sqrt(5.25)=1.7457,
+// two-sided p = 2(1-Phi(1.7457)) = 0.0809 (hand-computed).
+func TestMannWhitneyUSeparated(t *testing.T) {
+	r := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6})
+	approx(t, "U", r.U, 0, 0)
+	approx(t, "Z", r.Z, 1.74574, 1e-4)
+	approx(t, "P", r.P, 0.08086, 5e-4)
+	// The test is symmetric in its arguments.
+	r2 := MannWhitneyU([]float64{4, 5, 6}, []float64{1, 2, 3})
+	approx(t, "U sym", r2.U, r.U, 0)
+	approx(t, "P sym", r2.P, r.P, 1e-12)
+}
+
+// TestMannWhitneyUTies checks the tie-corrected golden case
+// a=[1 2 4] vs b=[2 3 5]: ranks 1, 2.5, 2.5, 4, 5, 6 so R_a=8.5,
+// U=min(2.5, 6.5)=2.5; tie term t^3-t=6 gives variance
+// (9/12)(7 - 6/30) = 5.1, z = 1.5/sqrt(5.1) = 0.66421,
+// p = 2(1-Phi(0.66421)) = 0.5066 (hand-computed).
+func TestMannWhitneyUTies(t *testing.T) {
+	r := MannWhitneyU([]float64{1, 2, 4}, []float64{2, 3, 5})
+	approx(t, "U", r.U, 2.5, 0)
+	approx(t, "Z", r.Z, 0.66421, 1e-4)
+	approx(t, "P", r.P, 0.50658, 1e-3)
+}
+
+func TestMannWhitneyUDegenerate(t *testing.T) {
+	// All values tied: rank variance is zero, no evidence.
+	r := MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5})
+	approx(t, "P tied", r.P, 1, 0)
+	// Empty side: no evidence.
+	r = MannWhitneyU(nil, []float64{1, 2})
+	approx(t, "P empty", r.P, 1, 0)
+	// Perfectly interleaved: U = mu, continuity correction clamps z to
+	// 0 and p to 1.
+	r = MannWhitneyU([]float64{10, 20, 30, 40}, []float64{15, 25, 35})
+	approx(t, "U interleaved", r.U, 6, 0)
+	approx(t, "P interleaved", r.P, 1, 0)
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	iv := BootstrapCI(xs, 0.95, 1000, 1)
+	if iv.Lo > iv.Hi {
+		t.Fatalf("inverted interval: %+v", iv)
+	}
+	if !iv.Contains(Median(xs)) {
+		t.Errorf("CI %+v must contain the sample median %v", iv, Median(xs))
+	}
+	if iv.Lo < 10 || iv.Hi > 19 {
+		t.Errorf("percentile bootstrap cannot leave the sample range: %+v", iv)
+	}
+	// Same seed, same interval.
+	iv2 := BootstrapCI(xs, 0.95, 1000, 1)
+	if iv != iv2 {
+		t.Errorf("bootstrap must be deterministic per seed: %+v vs %+v", iv, iv2)
+	}
+	// Degenerate inputs.
+	one := BootstrapCI([]float64{42}, 0.95, 100, 1)
+	if one.Lo != 42 || one.Hi != 42 {
+		t.Errorf("single-sample CI must degenerate to the point: %+v", one)
+	}
+	empty := BootstrapCI(nil, 0.95, 100, 1)
+	if !math.IsNaN(empty.Lo) || !math.IsNaN(empty.Hi) {
+		t.Errorf("empty-sample CI must be NaN: %+v", empty)
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := Interval{1, 3}
+	if !a.Overlaps(Interval{2, 5}) || !a.Overlaps(Interval{3, 4}) {
+		t.Error("touching/overlapping intervals must overlap")
+	}
+	if a.Overlaps(Interval{3.5, 4}) {
+		t.Error("disjoint intervals must not overlap")
+	}
+}

@@ -1,4 +1,4 @@
-// Package cmd_test smoke-tests the three CLIs end to end through
+// Package cmd_test smoke-tests the CLIs end to end through
 // `go run`, covering the user-facing surface the README documents.
 package cmd_test
 
@@ -562,6 +562,145 @@ func TestPythiaBenchQuickGolden(t *testing.T) {
 	got := runStdout(t, "./cmd/pythia-bench", "-quick")
 	if got != string(want) {
 		t.Fatalf("quick output diverged from testdata/results_quick.txt (len %d vs %d)", len(got), len(want))
+	}
+}
+
+// TestPythiaFuzzList: every attack-corpus case is a fuzz target.
+func TestPythiaFuzzList(t *testing.T) {
+	out := run(t, "./cmd/pythia-fuzz", "-list")
+	for _, want := range []string{"privesc-string-overflow", "heap-overflow", "dfi-blindspot"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("target list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPythiaFuzzRejectsUnknownTarget / TargetAndProfile: flag errors
+// follow the exit-2 + usage convention of the other CLIs.
+func TestPythiaFuzzRejectsUnknownTarget(t *testing.T) {
+	expectExit2(t, builtBinary(t, "pythia-fuzz"), `unknown target "bogus"`,
+		"-target", "bogus", "-execs", "10")
+}
+
+func TestPythiaFuzzRejectsTargetAndProfile(t *testing.T) {
+	expectExit2(t, builtBinary(t, "pythia-fuzz"), "mutually exclusive",
+		"-target", "dfi-blindspot", "-profile", "nginx", "-execs", "10")
+}
+
+// TestPythiaFuzzQuickDeterministic: the same seed and exec budget must
+// produce the identical corpus digest and finding set, and the quick
+// run must surface the paper's DFI pointer-arithmetic bypass.
+func TestPythiaFuzzQuickDeterministic(t *testing.T) {
+	type doc struct {
+		Execs    int    `json:"execs"`
+		Corpus   int    `json:"corpus"`
+		Edges    int    `json:"edges"`
+		Digest   string `json:"digest"`
+		Findings []struct {
+			Class  string `json:"class"`
+			Target string `json:"target"`
+			Scheme string `json:"scheme"`
+			Input  string `json:"input"`
+		} `json:"findings"`
+	}
+	parse := func(out string) doc {
+		var d doc
+		if err := json.Unmarshal([]byte(out), &d); err != nil {
+			t.Fatalf("-json output does not parse: %v\n%s", err, out)
+		}
+		return d
+	}
+	a := parse(runStdout(t, "./cmd/pythia-fuzz", "-quick", "-seed", "1", "-execs", "200", "-json"))
+	b := parse(runStdout(t, "./cmd/pythia-fuzz", "-quick", "-seed", "1", "-execs", "200", "-parallel", "2", "-json"))
+	if a.Digest == "" || a.Digest != b.Digest {
+		t.Fatalf("corpus digests diverged: %q vs %q", a.Digest, b.Digest)
+	}
+	if len(a.Findings) != len(b.Findings) || a.Corpus != b.Corpus || a.Edges != b.Edges {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+	found := false
+	for _, fd := range a.Findings {
+		if fd.Class == "bypass" && fd.Target == "dfi-blindspot" && fd.Scheme == "dfi" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DFI blindspot bypass missing from findings: %+v", a.Findings)
+	}
+}
+
+// TestPythiaFuzzKnownGate: the committed known-findings file accepts the
+// deterministic quick run (exit 0); an empty known file rejects it
+// (exit 1) — the CI smoke contract.
+func TestPythiaFuzzKnownGate(t *testing.T) {
+	bin := builtBinary(t, "pythia-fuzz")
+	pass := exec.Command(bin, "-quick", "-seed", "1", "-execs", "200", "-known", "testdata/fuzz_known.txt")
+	pass.Dir = ".."
+	if out, err := pass.CombinedOutput(); err != nil {
+		t.Fatalf("known findings must gate clean: %v\n%s", err, out)
+	}
+
+	empty := t.TempDir() + "/known.txt"
+	if err := os.WriteFile(empty, []byte("# nothing expected\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	failCmd := exec.Command(bin, "-quick", "-seed", "1", "-execs", "200", "-known", empty)
+	failCmd.Dir = ".."
+	out, err := failCmd.CombinedOutput()
+	exit, isExit := err.(*exec.ExitError)
+	if !isExit || exit.ExitCode() != 1 {
+		t.Fatalf("new findings must exit 1, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "new finding") {
+		t.Fatalf("gating diagnostic missing:\n%s", out)
+	}
+}
+
+// TestPythiaFuzzExportAndRepro: exported seeds replay through -repro,
+// and the malicious dfi-blindspot seed shows the differential — DFI
+// bent (bypass) while Pythia detects, with forensics rendered.
+func TestPythiaFuzzExportAndRepro(t *testing.T) {
+	dir := t.TempDir()
+	out := run(t, "./cmd/pythia-fuzz", "-target", "dfi-blindspot", "-export-seeds", dir)
+	if !strings.Contains(out, "exported 2 seed files") {
+		t.Fatalf("export summary wrong:\n%s", out)
+	}
+	out = run(t, "./cmd/pythia-fuzz", "-target", "dfi-blindspot", "-forensics",
+		"-repro", dir+"/dfi-blindspot/seed1")
+	for _, want := range []string{"repro dfi-blindspot", "bypass", "canary fault", "scheme: pythia"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("repro output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "dfi       bent") {
+		t.Fatalf("DFI must bend on the reproducer:\n%s", out)
+	}
+}
+
+// TestPythiaFuzzMetricsFile: -metrics parity with the other CLIs; the
+// dump must carry the fuzz.* counters and gauges.
+func TestPythiaFuzzMetricsFile(t *testing.T) {
+	path := t.TempDir() + "/m.json"
+	run(t, "./cmd/pythia-fuzz", "-target", "dfi-blindspot", "-seed", "1", "-execs", "100", "-metrics", path)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("metrics dump does not parse: %v\n%s", err, b)
+	}
+	if doc.Counters["fuzz.execs"] < 100 {
+		t.Fatalf("fuzz.execs missing or short: %s", b)
+	}
+	if doc.Gauges["fuzz.corpus"] <= 0 || doc.Gauges["fuzz.edges"] <= 0 || doc.Gauges["fuzz.execs_per_sec"] <= 0 {
+		t.Fatalf("fuzz gauges missing: %s", b)
+	}
+	if doc.Counters["fuzz.findings.bypass"] == 0 {
+		t.Fatalf("bypass finding counter missing: %s", b)
 	}
 }
 

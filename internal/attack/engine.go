@@ -59,7 +59,7 @@ func Run(c *Case, scheme core.Scheme) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	out.Benign = classify(bres)
+	out.Benign = Classify(bres)
 
 	attackProg, err := core.Build(c.Name, c.Source, scheme)
 	if err != nil {
@@ -69,7 +69,7 @@ func Run(c *Case, scheme core.Scheme) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	out.Attack = classify(ares)
+	out.Attack = Classify(ares)
 	if out.Attack == VerdictDetected {
 		out.Fault = ares.Fault
 		if out.Fault.Forensics != nil {
@@ -88,8 +88,11 @@ func runArmed(p *core.Program, stdin string) (*vm.Result, error) {
 	return m.Run("main")
 }
 
-// classify maps a run result to a verdict.
-func classify(res *vm.Result) Verdict {
+// Classify maps a run result to a verdict — the differential oracle
+// shared with the fuzzer (internal/fuzz): a hardening fault is a
+// detection, any other fault a crash, and a fault-free run is bent or
+// clean by the Bent convention.
+func Classify(res *vm.Result) Verdict {
 	if res.Fault != nil {
 		switch res.Fault.Kind {
 		case vm.FaultPAC, vm.FaultCanary, vm.FaultDFI:

@@ -1,0 +1,176 @@
+// Package fuzz is the coverage-guided differential attack fuzzer: it
+// mutates program inputs against the compiled victim programs of the
+// attack corpus (or a workload profile), steers by branch-edge coverage
+// harvested from the decoded engine (vm.Config.Cover), and judges every
+// input with a differential oracle across the four schemes. An input is
+// *interesting* when it grows coverage; it is a *finding* when the
+// verdict matrix diverges from the vanilla ground truth:
+//
+//	bypass          vanilla bends and the defense bends too — the
+//	                attack succeeded under protection (the DFI
+//	                pointer-arithmetic blindspot reproduces here)
+//	missed          vanilla bends but the defense runs clean — the
+//	                bend attempt went unnoticed (often the re-layout
+//	                displacing the target rather than detecting)
+//	false-positive  vanilla runs clean but the defense faults — a
+//	                candidate spurious detection (triage: the clean
+//	                vanilla run may still have corrupted padding
+//	                silently; the forensic window shows the store)
+//	divergence      any other disagreement with the ground truth
+//	                (defense bends or crashes on vanilla-clean input)
+//
+// The whole search is deterministic for a fixed seed in exec-count
+// mode: mutants are generated in seeded batches, evaluated on a
+// parallel worker pool, and folded back in batch order, so the corpus
+// digest and the finding set are bit-identical across runs regardless
+// of worker count.
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/workload"
+)
+
+// Target is one victim program the fuzzer mutates inputs against.
+type Target struct {
+	Name   string
+	Source string
+	// Seeds are the initial corpus inputs; every hand-written benign
+	// and malicious input of the attack corpus lands here.
+	Seeds [][]byte
+	// Benign is the known-good input (shown in emitted attack.Case
+	// candidates); empty for targets without one.
+	Benign string
+}
+
+// Targets exports the hand-written attack corpus as fuzz targets — one
+// per attack.Case, seeded with the case's benign and malicious inputs.
+func Targets() []Target {
+	var out []Target
+	for _, c := range attack.Corpus() {
+		out = append(out, Target{
+			Name:   c.Name,
+			Source: c.Source,
+			Seeds:  [][]byte{[]byte(c.Benign), []byte(c.Malicious)},
+			Benign: c.Benign,
+		})
+	}
+	return out
+}
+
+// quickNames is the -quick subset: one stack smash, one heap overflow,
+// and the DFI pointer-arithmetic blindspot — the three corruption
+// vectors the differential oracle separates schemes on.
+var quickNames = []string{"privesc-string-overflow", "heap-overflow", "dfi-blindspot"}
+
+// QuickTargets returns the 3-target smoke subset used by -quick and CI.
+func QuickTargets() []Target {
+	var out []Target
+	for _, t := range Targets() {
+		for _, n := range quickNames {
+			if t.Name == n {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// TargetByName returns the named corpus target, or nil.
+func TargetByName(name string) *Target {
+	for _, t := range Targets() {
+		if t.Name == name {
+			tt := t
+			return &tt
+		}
+	}
+	return nil
+}
+
+// ProfileTarget builds a fuzz target from a workload profile's
+// generated benchmark program, seeded with its benign stdin.
+func ProfileTarget(name string) (*Target, error) {
+	p := workload.ProfileByName(name)
+	if p == nil {
+		return nil, fmt.Errorf("fuzz: unknown workload profile %q", name)
+	}
+	return &Target{
+		Name:   p.Name,
+		Source: workload.Generate(p),
+		Seeds:  [][]byte{[]byte(workload.Stdin(p))},
+		Benign: workload.Stdin(p),
+	}, nil
+}
+
+// --- seed / reproducer file format -----------------------------------
+//
+// Corpus files use the native `go test fuzz v1` encoding with a single
+// []byte value, so pythia-fuzz reproducers, exported seeds, and the
+// FuzzAttackInput target in internal/minic all read the same files.
+
+const seedHeader = "go test fuzz v1"
+
+// EncodeSeed renders input as a go-fuzz-v1 corpus file.
+func EncodeSeed(input []byte) []byte {
+	return []byte(seedHeader + "\n[]byte(" + strconv.Quote(string(input)) + ")\n")
+}
+
+// DecodeSeed parses a go-fuzz-v1 corpus file holding one []byte (or
+// string) value. Content without the version header is taken as a raw
+// input verbatim, so hand-written reproducers also replay.
+func DecodeSeed(b []byte) ([]byte, error) {
+	s := string(b)
+	if !strings.HasPrefix(s, seedHeader) {
+		return b, nil
+	}
+	s = strings.TrimPrefix(s, seedHeader)
+	s = strings.TrimSpace(s)
+	for _, prefix := range []string{"[]byte(", "string("} {
+		if strings.HasPrefix(s, prefix) && strings.HasSuffix(s, ")") {
+			q := strings.TrimSuffix(strings.TrimPrefix(s, prefix), ")")
+			val, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("fuzz: corpus file value %s: %w", q, err)
+			}
+			return []byte(val), nil
+		}
+	}
+	return nil, fmt.Errorf("fuzz: corpus file has unsupported value line %q", s)
+}
+
+// ReadSeedFile loads and decodes one corpus/reproducer file.
+func ReadSeedFile(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSeed(b)
+}
+
+// ExportSeeds writes every target's seed inputs under dir/<target>/seedN
+// in go-fuzz-v1 format and returns the number of files written. The
+// layout matches testdata/fuzz/<FuzzTarget>/ so the files drop straight
+// into a native Go fuzz corpus.
+func ExportSeeds(dir string, targets []Target) (int, error) {
+	n := 0
+	for _, t := range targets {
+		td := filepath.Join(dir, t.Name)
+		if err := os.MkdirAll(td, 0o755); err != nil {
+			return n, err
+		}
+		for i, s := range t.Seeds {
+			path := filepath.Join(td, fmt.Sprintf("seed%d", i))
+			if err := os.WriteFile(path, EncodeSeed(s), 0o644); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,50 @@
+package fuzz
+
+// The greedy minimizer. Deterministic by construction — fixed scan
+// order, no RNG — so the same finding always shrinks to the same
+// reproducer: first chunk removal with halving chunk sizes (drop the
+// largest slices the predicate tolerates, then smaller ones), then
+// byte normalization rewriting every surviving byte to 'A' where the
+// predicate allows. The predicate is a full re-evaluation, so every
+// accepted candidate still reproduces the finding.
+
+// Minimize shrinks input while pred keeps accepting, spending at most
+// budget predicate evaluations. input is not modified.
+func Minimize(input []byte, pred func([]byte) bool, budget int) []byte {
+	best := append([]byte(nil), input...)
+	evals := 0
+	try := func(cand []byte) bool {
+		if evals >= budget {
+			return false
+		}
+		evals++
+		return pred(cand)
+	}
+
+	for chunk := len(best) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(best); {
+			cand := make([]byte, 0, len(best)-chunk)
+			cand = append(cand, best[:start]...)
+			cand = append(cand, best[start+chunk:]...)
+			if try(cand) {
+				// The removal shifted the next chunk into place; retry
+				// the same offset.
+				best = cand
+			} else {
+				start += chunk
+			}
+		}
+	}
+
+	for i := range best {
+		if best[i] == 'A' {
+			continue
+		}
+		cand := append([]byte(nil), best...)
+		cand[i] = 'A'
+		if try(cand) {
+			best = cand
+		}
+	}
+	return best
+}

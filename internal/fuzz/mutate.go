@@ -1,0 +1,235 @@
+package fuzz
+
+// The deterministic seeded mutation engine. Every mutation is a pure
+// function of the RNG stream, the base input, an optional splice donor,
+// and the target's dictionary, so a fixed -seed replays the exact same
+// mutant sequence. The operator mix follows the classic havoc recipe —
+// bit/byte noise, arithmetic, block surgery, splicing — plus two
+// operators that matter specifically for memory-corruption search:
+// run insertion (a repeated byte, the shape of every overflow payload)
+// and dictionary tokens harvested from the victim's own string
+// literals and seed inputs (the bytes its input channels compare
+// against).
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+)
+
+// maxInputLen bounds mutant growth. Corpus inputs are stdin lines; a
+// 256-byte line overflows every buffer in the corpus several times
+// over, and the cap keeps per-exec cost flat.
+const maxInputLen = 256
+
+// Mutator generates mutants from a seeded RNG.
+type Mutator struct {
+	rng *rand.Rand
+}
+
+// NewMutator returns a mutation engine seeded for determinism.
+func NewMutator(seed int64) *Mutator {
+	return &Mutator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// interesting byte values: boundaries, ASCII digits/letters the
+// corpus programs branch on, and the token separators the input
+// channels split on.
+var interesting = []byte{0, 1, 7, 8, 9, 15, 16, 31, 32, 63, 64, 127, 128, 255, '0', '9', 'A', 'a', ' ', '\n'}
+
+// Mutate derives one mutant from base. donor, when non-nil, is another
+// corpus entry available for splicing; dict is the target's token
+// dictionary. base is never modified.
+func (mu *Mutator) Mutate(base, donor []byte, dict [][]byte) []byte {
+	buf := append([]byte(nil), base...)
+	// Stack 1–4 havoc operators per mutant.
+	for n := 1 + mu.rng.Intn(4); n > 0; n-- {
+		buf = mu.apply(buf, donor, dict)
+		if len(buf) > maxInputLen {
+			buf = buf[:maxInputLen]
+		}
+	}
+	return buf
+}
+
+// apply performs one randomly chosen operator.
+func (mu *Mutator) apply(buf, donor []byte, dict [][]byte) []byte {
+	r := mu.rng
+	// Run insertion appears twice: long single-byte runs are the single
+	// most productive step toward an overflow from a benign seed.
+	switch op := r.Intn(12); op {
+	case 0: // bit flip
+		if len(buf) == 0 {
+			return buf
+		}
+		buf[r.Intn(len(buf))] ^= 1 << uint(r.Intn(8))
+	case 1: // random byte
+		if len(buf) == 0 {
+			return append(buf, byte(r.Intn(256)))
+		}
+		buf[r.Intn(len(buf))] = byte(r.Intn(256))
+	case 2: // interesting byte
+		if len(buf) == 0 {
+			return buf
+		}
+		buf[r.Intn(len(buf))] = interesting[r.Intn(len(interesting))]
+	case 3: // byte arithmetic
+		if len(buf) == 0 {
+			return buf
+		}
+		delta := byte(1 + r.Intn(16))
+		i := r.Intn(len(buf))
+		if r.Intn(2) == 0 {
+			buf[i] += delta
+		} else {
+			buf[i] -= delta
+		}
+	case 4: // 64-bit little-endian arithmetic (scalar gates are words)
+		if len(buf) < 8 {
+			return buf
+		}
+		i := r.Intn(len(buf) - 7)
+		v := uint64(0)
+		for k := 7; k >= 0; k-- {
+			v = v<<8 | uint64(buf[i+k])
+		}
+		v += uint64(r.Intn(65)) - 32
+		for k := 0; k < 8; k++ {
+			buf[i+k] = byte(v >> uint(8*k))
+		}
+	case 5: // dictionary insert
+		if len(dict) == 0 {
+			return buf
+		}
+		tok := dict[r.Intn(len(dict))]
+		i := r.Intn(len(buf) + 1)
+		return insert(buf, i, tok)
+	case 6: // dictionary overwrite
+		if len(dict) == 0 || len(buf) == 0 {
+			return buf
+		}
+		tok := dict[r.Intn(len(dict))]
+		i := r.Intn(len(buf))
+		copy(buf[i:], tok)
+	case 7: // block duplicate
+		if len(buf) == 0 {
+			return buf
+		}
+		i := r.Intn(len(buf))
+		l := 1 + r.Intn(len(buf)-i)
+		at := r.Intn(len(buf) + 1)
+		blk := append([]byte(nil), buf[i:i+l]...)
+		return insert(buf, at, blk)
+	case 8: // block delete
+		if len(buf) < 2 {
+			return buf
+		}
+		i := r.Intn(len(buf))
+		l := 1 + r.Intn(len(buf)-i)
+		return append(buf[:i], buf[i+l:]...)
+	case 9, 10: // run insertion (weighted twice)
+		c := byte('A')
+		switch r.Intn(3) {
+		case 1:
+			c = interesting[r.Intn(len(interesting))]
+		case 2:
+			c = byte(r.Intn(256))
+		}
+		run := make([]byte, 1+r.Intn(64))
+		for i := range run {
+			run[i] = c
+		}
+		i := r.Intn(len(buf) + 1)
+		return insert(buf, i, run)
+	case 11: // splice with a donor corpus entry
+		if donor == nil || len(donor) == 0 || len(buf) == 0 {
+			return buf
+		}
+		i := r.Intn(len(buf))
+		j := r.Intn(len(donor))
+		return append(buf[:i], donor[j:]...)
+	}
+	return buf
+}
+
+func insert(buf []byte, at int, blk []byte) []byte {
+	out := make([]byte, 0, len(buf)+len(blk))
+	out = append(out, buf[:at]...)
+	out = append(out, blk...)
+	out = append(out, buf[at:]...)
+	return out
+}
+
+// Dictionary harvests mutation tokens from a target: the string
+// literals of its source (the bytes its comparisons and channels care
+// about) and the whitespace-split tokens of its seed inputs. The result
+// is deduplicated and sorted for determinism.
+func Dictionary(t *Target) [][]byte {
+	seen := map[string]bool{}
+	add := func(s string) {
+		if s != "" && len(s) <= 64 && !seen[s] {
+			seen[s] = true
+		}
+	}
+	for _, lit := range sourceStrings(t.Source) {
+		add(lit)
+	}
+	for _, s := range t.Seeds {
+		for _, tok := range tokens(s) {
+			add(tok)
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		out[i] = []byte(k)
+	}
+	return out
+}
+
+// sourceStrings extracts double-quoted literals from MiniC source,
+// resolving the escape forms the front-end accepts.
+func sourceStrings(src string) []string {
+	var out []string
+	for i := 0; i < len(src); i++ {
+		if src[i] != '"' {
+			continue
+		}
+		j := i + 1
+		for j < len(src) && src[j] != '"' {
+			if src[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j >= len(src) {
+			break
+		}
+		if lit, err := strconv.Unquote(src[i : j+1]); err == nil {
+			out = append(out, lit)
+		}
+		i = j
+	}
+	return out
+}
+
+// tokens splits an input on the whitespace set the scan channels use.
+func tokens(b []byte) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(b); i++ {
+		ws := i == len(b) || b[i] == ' ' || b[i] == '\n' || b[i] == '\t' || b[i] == '\r'
+		switch {
+		case ws && start >= 0:
+			out = append(out, string(b[start:i]))
+			start = -1
+		case !ws && start < 0:
+			start = i
+		}
+	}
+	return out
+}

@@ -1,11 +1,16 @@
 package minic_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/fuzz"
 	"repro/internal/minic"
 	"repro/internal/vm"
 )
@@ -226,4 +231,84 @@ func TestRandomBufferPrograms(t *testing.T) {
 			t.Fatalf("prog %d nondeterministic", i)
 		}
 	}
+}
+
+// FuzzAttackInput is the native Go fuzz entry for attacker-controlled
+// stdin, sharing the pythia-fuzz corpus format: the seed files under
+// testdata/fuzz/FuzzAttackInput are `go test fuzz v1` []byte values —
+// exactly what `pythia-fuzz -export-seeds` writes and `-repro`
+// replays, so corpora flow freely between the two fuzzers.
+//
+// The victim is the dfi-blindspot case (the paper's motivating DFI
+// bypass). The oracles are the invariants that must hold for EVERY
+// input, however adversarial:
+//
+//   - the decoded engine and the reference interpreter agree byte for
+//     byte on the vanilla program (return, stdout, fault kind);
+//   - runs are deterministic — the same input classifies identically
+//     twice under Pythia.
+//
+// Verdict properties ("pythia never bends") deliberately do NOT live
+// here: precise negative-offset writes through gets(buf + off) can
+// step over the canary, a real and expected blindspot the differential
+// fuzzer files as a divergence finding instead.
+func FuzzAttackInput(f *testing.F) {
+	tgt := fuzz.TargetByName("dfi-blindspot")
+	if tgt == nil {
+		f.Fatal("dfi-blindspot target missing from the fuzz corpus")
+	}
+	for _, s := range tgt.Seeds {
+		f.Add(append([]byte(nil), s...))
+	}
+	// The differential fuzzer's minimized bypass reproducer and a
+	// negative-offset probe, so coverage starts at the interesting cliffs.
+	f.Add([]byte("A AAAAAAAAAAAAAAAA"))
+	f.Add([]byte("-16 \x01\x01\x01\x01\n"))
+
+	build := func(scheme core.Scheme) *core.Program {
+		p, err := core.Build(tgt.Name, tgt.Source, scheme)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return p
+	}
+	vanilla := build(core.SchemeVanilla)
+	pythia := build(core.SchemePythia)
+	// Machines share the prebuilt modules; vm.New writes global
+	// addresses into them, so runs must not interleave.
+	var mu sync.Mutex
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if len(input) > 4096 {
+			t.Skip("beyond any buffer in the victim")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		run := func(p *core.Program, ref bool) *vm.Result {
+			m := vm.New(p.Mod, vm.Config{Seed: p.Seed, Fuel: 2_000_000, Reference: ref})
+			m.Stdin.SetInput(input)
+			res, err := m.Run("main")
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			return res
+		}
+		faultKind := func(res *vm.Result) vm.FaultKind {
+			if res.Fault == nil {
+				return vm.FaultNone
+			}
+			return res.Fault.Kind
+		}
+
+		dec, ref := run(vanilla, false), run(vanilla, true)
+		if dec.Ret != ref.Ret || !bytes.Equal(dec.Stdout, ref.Stdout) || faultKind(dec) != faultKind(ref) {
+			t.Errorf("engines disagree on %q: decoded ret=%d out=%q fault=%v; reference ret=%d out=%q fault=%v",
+				input, dec.Ret, dec.Stdout, faultKind(dec), ref.Ret, ref.Stdout, faultKind(ref))
+		}
+
+		p1, p2 := run(pythia, false), run(pythia, false)
+		if attack.Classify(p1) != attack.Classify(p2) || p1.Ret != p2.Ret || !bytes.Equal(p1.Stdout, p2.Stdout) {
+			t.Errorf("pythia run is nondeterministic on %q: %v/%v", input, attack.Classify(p1), attack.Classify(p2))
+		}
+	})
 }

@@ -1,0 +1,112 @@
+package vm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+const coverProg = `
+int main() {
+	char buf[16];
+	fgets(buf, 16);
+	long n = strlen(buf);
+	long i = 0;
+	long acc = 0;
+	while (i < n) {
+		if (buf[i] == 'x') {
+			acc = acc + 2;
+		} else {
+			acc = acc + 1;
+		}
+		i = i + 1;
+	}
+	if (acc > 10) {
+		printf("big\n");
+	}
+	return acc;
+}`
+
+func coverRun(t *testing.T, stdin string, cov *vm.Coverage) *vm.Result {
+	t.Helper()
+	mod, err := minic.Compile("cover", coverProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(mod, vm.Config{Seed: 1, Cover: cov})
+	m.Stdin.SetInput([]byte(stdin))
+	res, err := m.Run("main")
+	if err != nil || res.Fault != nil {
+		t.Fatalf("run: %v / %v", err, res.Fault)
+	}
+	return res
+}
+
+func TestCoverageRecordsEdgesDeterministically(t *testing.T) {
+	c1, c2 := vm.NewCoverage(), vm.NewCoverage()
+	coverRun(t, "abc\n", c1)
+	coverRun(t, "abc\n", c2)
+	if c1.Edges() == 0 {
+		t.Fatal("no edges recorded with coverage armed")
+	}
+	if c1.Digest() != c2.Digest() {
+		t.Fatalf("identical runs produced different digests: %#x vs %#x", c1.Digest(), c2.Digest())
+	}
+	h1 := c1.Hits(nil)
+	h2 := c2.Hits(nil)
+	if len(h1) != c1.Edges() || len(h1) != len(h2) {
+		t.Fatalf("Hits/Edges disagree: %d hits vs %d edges", len(h1), c1.Edges())
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("hit sets differ at %d: %d vs %d", i, h1[i], h2[i])
+		}
+	}
+}
+
+func TestCoverageDistinguishesPaths(t *testing.T) {
+	// "xxx" takes the then-edge of the inner branch; "abc" never does,
+	// and a long input additionally reaches the acc>10 branch body.
+	ca, cb := vm.NewCoverage(), vm.NewCoverage()
+	coverRun(t, "abc\n", ca)
+	coverRun(t, "xxxxxxxxxxxx\n", cb)
+	if ca.Digest() == cb.Digest() {
+		t.Fatal("different control flow produced identical coverage")
+	}
+	if cb.Edges() <= ca.Edges() {
+		t.Fatalf("longer x-input must cover more edges: %d vs %d", cb.Edges(), ca.Edges())
+	}
+}
+
+func TestCoverageReset(t *testing.T) {
+	c := vm.NewCoverage()
+	coverRun(t, "abc\n", c)
+	c.Reset()
+	if c.Edges() != 0 || len(c.Hits(nil)) != 0 {
+		t.Fatal("Reset left buckets hit")
+	}
+	empty := vm.NewCoverage()
+	if c.Digest() != empty.Digest() {
+		t.Fatal("reset map digest differs from empty map")
+	}
+}
+
+// TestCoverageDoesNotPerturbExecution: arming coverage must not change
+// a single observable byte — same discipline as the obs layer.
+func TestCoverageDoesNotPerturbExecution(t *testing.T) {
+	plain := coverRun(t, "xaxbxc\n", nil)
+	cov := vm.NewCoverage()
+	armed := coverRun(t, "xaxbxc\n", cov)
+	if plain.Ret != armed.Ret || !bytes.Equal(plain.Stdout, armed.Stdout) {
+		t.Fatalf("coverage perturbed the run: ret %d/%d stdout %q/%q",
+			plain.Ret, armed.Ret, plain.Stdout, armed.Stdout)
+	}
+	if plain.Counters.Instrs != armed.Counters.Instrs || plain.Counters.Cycles != armed.Counters.Cycles {
+		t.Fatalf("coverage perturbed the meter: %v vs %v", plain.Counters, armed.Counters)
+	}
+	if cov.Edges() == 0 {
+		t.Fatal("armed run recorded nothing")
+	}
+}

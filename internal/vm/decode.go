@@ -111,6 +111,11 @@ type dfunc struct {
 	// decoder could not prove def-before-use (or met an operand kind it
 	// cannot resolve), so lazy undefined-value faults must be preserved.
 	refOnly bool
+
+	// covBase is the function's coverage-hash base (covHash of its
+	// name), mixed into every branch-edge bucket index when a Coverage
+	// map is armed.
+	covBase uint32
 }
 
 // decodedFunc returns the cached decoding of f, refreshing it when a
@@ -138,7 +143,7 @@ func opWritesResult(op ir.Op) bool {
 
 // decode lowers f for execution under this machine.
 func (m *Machine) decode(f *ir.Func) *dfunc {
-	d := &dfunc{f: f, planSrc: f.Plan}
+	d := &dfunc{f: f, planSrc: f.Plan, covBase: covHash(f.FName)}
 	d.plan = m.planOf(f)
 	d.frameSize = frameSize(d.plan)
 

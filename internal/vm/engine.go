@@ -133,6 +133,9 @@ blockLoop:
 			case ir.OpBr:
 				m.dtick(d, di.in, di.site)
 				prev, bi = bi, di.succ0
+				if m.cov != nil {
+					m.cov.hit(d.covBase, prev, bi)
+				}
 				continue blockLoop
 
 			case ir.OpCondBr:
@@ -142,6 +145,9 @@ blockLoop:
 					bi = di.succ0
 				} else {
 					bi = di.succ1
+				}
+				if m.cov != nil {
+					m.cov.hit(d.covBase, prev, bi)
 				}
 				continue blockLoop
 

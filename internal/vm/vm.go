@@ -100,6 +100,10 @@ type Machine struct {
 	// Trace, when non-nil, receives every executed instruction.
 	Trace func(f *ir.Func, in *ir.Instr)
 
+	// cov receives branch-edge coverage from the decoded engine; nil
+	// whenever coverage is disabled, so taken branches pay one nil check.
+	cov *Coverage
+
 	// obs is the machine's observability attachment (flight recorder,
 	// metrics, site profiling); nil whenever observability is disabled,
 	// so the engines' tick paths pay one nil check.
@@ -127,6 +131,11 @@ type Config struct {
 	// Forensics report. Zero leaves the recorder to the session's
 	// FlightDepth (off when no session is active).
 	Flight int
+
+	// Cover, when non-nil, receives branch-edge coverage from the
+	// decoded engine — the fuzzer's feedback signal. Same
+	// nil-check-when-disabled pattern as Flight; see cover.go.
+	Cover *Coverage
 }
 
 // New loads mod into a fresh machine image.
@@ -161,6 +170,7 @@ func New(mod *ir.Module, cfg Config) *Machine {
 		plans:        make(map[*ir.Func]*ir.StackPlan),
 		ref:          cfg.Reference,
 		Trace:        cfg.Trace,
+		cov:          cfg.Cover,
 	}
 	m.obs = newObsState(cfg)
 	m.layoutImage()

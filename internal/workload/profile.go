@@ -231,6 +231,9 @@ func (p *Profile) Fingerprint() string {
 }
 
 // ProfileByName returns the named profile, or nil.
+// ProfileByName returns a copy of the named profile, or nil. Callers
+// that fuzz or re-run a single benchmark (pythia-fuzz -profile) resolve
+// it here.
 func ProfileByName(name string) *Profile {
 	for _, p := range Profiles() {
 		if p.Name == name {

@@ -14,6 +14,9 @@
 //	pythia-bench -trace out.json  # Chrome trace_event timeline
 //	pythia-bench -hotsites 20     # top-N IR sites by attributed cycles
 //	pythia-bench -metrics m.json  # metrics registry dump ("-" = text to stderr)
+//	pythia-bench -cache-dir .pythia-cache  # persistent compile/harden artifacts
+//	pythia-bench -suite 3x2x3     # generated parameterized suite instead of
+//	                              # the 16 fixed profiles (ptr x depth x chan)
 //
 // Continuous benchmarking:
 //
@@ -51,9 +54,11 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/report"
+	"repro/internal/workload"
 )
 
 // renderers is the single place the -format flag is resolved; unknown
@@ -139,6 +144,8 @@ func main() {
 		compare   = flag.Bool("compare", false, "compare this run against -baseline and render a verdict table")
 		threshold = flag.Float64("threshold", 0, "allowed modeled-metric growth percent before -compare regresses")
 		serveAddr = flag.String("serve", "", "serve live observability HTTP endpoints on this address during the run")
+		cacheDir  = flag.String("cache-dir", "", "persist compile/harden artifacts in this directory (content-addressed, shared across processes)")
+		suiteSpec = flag.String("suite", "", "run on a generated parameterized suite instead of the fixed profiles (PxDxC, e.g. 3x2x3)")
 	)
 	flag.Parse()
 
@@ -151,6 +158,23 @@ func main() {
 	}
 	if *compare && *baseline == "" {
 		usageError("-compare needs -baseline <file> to compare against")
+	}
+	var suiteProfiles []workload.Profile
+	if *suiteSpec != "" {
+		if *quick {
+			usageError("-quick selects among the fixed profiles and cannot combine with -suite")
+		}
+		spec, err := workload.ParseSuite(*suiteSpec)
+		if err != nil {
+			usageError("invalid -suite: %v", err)
+		}
+		suiteProfiles = spec.Profiles()
+	}
+	if *cacheDir != "" {
+		// Validate eagerly so a bad path fails before any work runs.
+		if _, err := core.OpenPipeline(*cacheDir); err != nil {
+			usageError("invalid -cache-dir: %v", err)
+		}
 	}
 	var baseRec *bench.Record
 	if *compare {
@@ -261,6 +285,20 @@ func main() {
 		cfg := bench.DefaultConfig()
 		cfg.Quick = *quick
 		cfg.Parallel = *parallel
+		if suiteProfiles != nil {
+			cfg.Profiles = suiteProfiles
+		}
+		if *cacheDir != "" {
+			// A fresh Pipeline per repeat over the same directory: repeats
+			// keep an honest in-process cold start while the compile and
+			// harden stages come warm from disk.
+			pl, err := core.OpenPipeline(*cacheDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+				os.Exit(1)
+			}
+			cfg.Pipeline = pl
+		}
 
 		repStart := time.Now()
 		pool := cfg.Prewarm(exps)

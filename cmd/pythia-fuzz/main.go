@@ -28,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/fuzz"
 	"repro/internal/obs"
 )
@@ -66,6 +67,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "log per-round progress to stderr")
 		metrics     = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
 		serveAddr   = flag.String("serve", "", "serve live observability HTTP endpoints on this address during the run")
+		cacheDir    = flag.String("cache-dir", "", "persist compile/harden artifacts in this directory (content-addressed, shared across processes)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,13 @@ func main() {
 	}
 	if *execs < 0 {
 		usageError("invalid -execs %d", *execs)
+	}
+	if *cacheDir != "" {
+		pl, err := core.OpenPipeline(*cacheDir)
+		if err != nil {
+			usageError("invalid -cache-dir: %v", err)
+		}
+		fuzz.UsePipeline(pl)
 	}
 
 	if *list {

@@ -41,6 +41,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "machine seed (keys, canary RNG)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 		metrics    = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
+		cacheDir   = flag.String("cache-dir", "", "persist compile/harden artifacts in this directory (content-addressed, shared across processes)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -108,11 +109,19 @@ func main() {
 		fatal("%v", err)
 	}
 
-	// compile dispatches on the extension: .ir files are parsed as
-	// textual IR (the printer's output language), everything else goes
-	// through the MiniC front-end.
+	// MiniC sources flow through the staged pipeline, so repeated
+	// invocations with -cache-dir skip the front-end and the hardening
+	// passes entirely; textual .ir files are parsed directly (the
+	// printer's output language) and bypass the cache.
+	pl := core.DefaultPipeline()
+	if *cacheDir != "" {
+		if pl, err = core.OpenPipeline(*cacheDir); err != nil {
+			fatal("invalid -cache-dir: %v", err)
+		}
+	}
+	isIR := strings.HasSuffix(flag.Arg(0), ".ir")
 	compile := func() (*ir.Module, error) {
-		if strings.HasSuffix(flag.Arg(0), ".ir") {
+		if isIR {
 			mod, err := ir.Parse(string(src))
 			if err != nil {
 				return nil, err
@@ -120,7 +129,7 @@ func main() {
 			irpass.Optimize(mod)
 			return mod, nil
 		}
-		return core.CompileC(flag.Arg(0), string(src))
+		return pl.Compile(flag.Arg(0), string(src))
 	}
 
 	if *analyze {
@@ -133,15 +142,23 @@ func main() {
 		return
 	}
 
-	mod, err := compile()
-	if err != nil {
-		fatal("compile: %v", err)
+	var prog *core.Program
+	if isIR {
+		mod, err := compile()
+		if err != nil {
+			fatal("compile: %v", err)
+		}
+		prot, err := core.Protect(mod, scheme)
+		if err != nil {
+			fatal("protect: %v", err)
+		}
+		prog = &core.Program{Mod: mod, Protection: prot, Seed: *seed}
+	} else {
+		if prog, err = pl.Build(flag.Arg(0), string(src), scheme); err != nil {
+			fatal("%v", err)
+		}
+		prog.Seed = *seed
 	}
-	prot, err := core.Protect(mod, scheme)
-	if err != nil {
-		fatal("protect: %v", err)
-	}
-	prog := &core.Program{Mod: mod, Protection: prot, Seed: *seed}
 
 	if *emitIR {
 		fmt.Print(prog.Mod.String())

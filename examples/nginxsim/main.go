@@ -28,8 +28,12 @@ func main() {
 		if scheme == core.SchemeVanilla {
 			base = r
 		}
+		ov, err := r.Overhead(base)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-9v %12.0f %9.2f%% %8.2f %10d\n",
-			scheme, r.Counters.Cycles, r.Overhead(base), r.Counters.IPC(), r.Counters.PAInstrs)
+			scheme, r.Counters.Cycles, ov, r.Counters.IPC(), r.Counters.PAInstrs)
 	}
 
 	prog, err := workload.Build(&p, core.SchemeVanilla)

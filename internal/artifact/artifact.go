@@ -1,0 +1,175 @@
+// Package artifact is a persistent, content-addressed store for
+// pipeline build products — the on-disk generalization of the
+// in-process run memoization in internal/bench.
+//
+// Entries live in a sharded layout under the store root:
+//
+//	<root>/<digest[:2]>/<digest>
+//
+// where digest is the hex SHA-256 cache key derived from the stage's
+// inputs (source bytes, upstream artifact digest, scheme, codec
+// version). Every entry is self-verifying: a fixed magic, the store
+// format version, and the SHA-256 of the payload precede the payload
+// itself, so truncated, corrupted, or stale-format entries are detected
+// on read and reported as misses — the pipeline then recomputes and
+// rewrites them. Writes go through a temp file plus atomic rename, so
+// concurrent processes sharing one cache directory never observe a
+// partially written entry; because entries are content-keyed and every
+// producer of a key writes identical bytes, last-rename-wins is
+// harmless.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// FormatVersion stamps every entry. Bump it when the entry layout
+// changes; old entries then fail verification and are recomputed.
+const FormatVersion = 1
+
+var entryMagic = []byte("PYART")
+
+// Store is a content-addressed artifact directory. The zero value is
+// not usable; construct with Open. Store is safe for concurrent use by
+// multiple goroutines and multiple processes.
+type Store struct {
+	root string
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: open store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+// Key derives a cache key from the given input parts. Parts are
+// length-prefixed before hashing so no two distinct part lists collide
+// by concatenation.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path maps a key to its sharded entry file.
+func (s *Store) path(key string) string {
+	if len(key) < 3 {
+		return filepath.Join(s.root, "xx", key)
+	}
+	return filepath.Join(s.root, key[:2], key)
+}
+
+// Get returns the payload stored under key, or ok=false on a miss. A
+// present-but-invalid entry (truncated, corrupted, or written by a
+// different format version) counts as a miss and is deleted so the
+// next Put replaces it.
+func (s *Store) Get(key string) ([]byte, bool) {
+	p := s.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		count("artifact.get.misses")
+		return nil, false
+	}
+	payload, err := decodeEntry(raw)
+	if err != nil {
+		count("artifact.get.corrupt")
+		os.Remove(p) // best effort; Put rewrites atomically anyway
+		return nil, false
+	}
+	count("artifact.get.hits")
+	return payload, true
+}
+
+// Put stores payload under key atomically.
+func (s *Store) Put(key string, payload []byte) error {
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("artifact: put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+filepath.Base(p)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("artifact: put: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	_, err = tmp.Write(encodeEntry(payload))
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("artifact: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("artifact: put: %w", err)
+	}
+	count("artifact.put.writes")
+	return nil
+}
+
+// encodeEntry frames a payload: magic | version | sha256 | len | bytes.
+func encodeEntry(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, len(entryMagic)+4+len(sum)+8+len(payload))
+	out = append(out, entryMagic...)
+	out = binary.LittleEndian.AppendUint32(out, FormatVersion)
+	out = append(out, sum[:]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	return append(out, payload...)
+}
+
+// decodeEntry verifies an entry's frame and checksum.
+func decodeEntry(raw []byte) ([]byte, error) {
+	header := len(entryMagic) + 4 + sha256.Size + 8
+	if len(raw) < header {
+		return nil, fmt.Errorf("artifact: entry truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(entryMagic)]) != string(entryMagic) {
+		return nil, fmt.Errorf("artifact: bad entry magic")
+	}
+	off := len(entryMagic)
+	if v := binary.LittleEndian.Uint32(raw[off:]); v != FormatVersion {
+		return nil, fmt.Errorf("artifact: entry format version %d, want %d", v, FormatVersion)
+	}
+	off += 4
+	var want [sha256.Size]byte
+	copy(want[:], raw[off:])
+	off += sha256.Size
+	n := binary.LittleEndian.Uint64(raw[off:])
+	off += 8
+	if uint64(len(raw)-off) != n {
+		return nil, fmt.Errorf("artifact: entry payload truncated: %d bytes, header says %d", len(raw)-off, n)
+	}
+	payload := raw[off:]
+	if sha256.Sum256(payload) != want {
+		return nil, fmt.Errorf("artifact: entry checksum mismatch")
+	}
+	return payload, nil
+}
+
+// count bumps an obs counter in the active session's registry, resolved
+// at increment time so stores built before a session starts still
+// report once one is active.
+func count(name string) {
+	if reg := obs.CurrentMetrics(); reg != nil {
+		reg.Add(name, 1)
+	}
+}

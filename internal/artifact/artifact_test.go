@@ -1,0 +1,176 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestKeyLengthPrefixed(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("part boundaries must be part of the key")
+	}
+	if Key("a", "b") != Key("a", "b") {
+		t.Fatal("keys must be deterministic")
+	}
+	if Key() == Key("") {
+		t.Fatal("zero parts and one empty part must differ")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("compile", "v1", "src")
+	if _, ok := st.Get(key); ok {
+		t.Fatal("empty store must miss")
+	}
+	payload := []byte("some artifact payload")
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	// Sharded layout: <root>/<key[:2]>/<key>.
+	if _, err := os.Stat(filepath.Join(st.Dir(), key[:2], key)); err != nil {
+		t.Fatalf("entry not at sharded path: %v", err)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir must be rejected")
+	}
+}
+
+// entryPath returns the single entry file under key for white-box
+// corruption.
+func entryPath(t *testing.T, st *Store, key string) string {
+	t.Helper()
+	p := st.path(key)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry missing: %v", err)
+	}
+	return p
+}
+
+func TestCorruptEntriesAreMissesAndDeleted(t *testing.T) {
+	key := Key("k")
+	payload := []byte("payload bytes that are long enough to truncate meaningfully")
+	corruptions := []struct {
+		name string
+		mod  func(raw []byte) []byte
+	}{
+		{"truncated-header", func(raw []byte) []byte { return raw[:4] }},
+		{"truncated-payload", func(raw []byte) []byte { return raw[:len(raw)-7] }},
+		{"flipped-payload-bit", func(raw []byte) []byte { raw[len(raw)-1] ^= 1; return raw }},
+		{"bad-magic", func(raw []byte) []byte { raw[0] ^= 0xff; return raw }},
+		{"future-version", func(raw []byte) []byte {
+			binary.LittleEndian.PutUint32(raw[len(entryMagic):], FormatVersion+1)
+			return raw
+		}},
+		{"empty-file", func(raw []byte) []byte { return nil }},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			p := entryPath(t, st, key)
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, c.mod(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := st.Get(key); ok {
+				t.Fatalf("corrupt entry served as hit: %q", got)
+			}
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not deleted: %v", err)
+			}
+			// The pipeline's contract: after the miss, a recompute's Put
+			// restores the entry.
+			if err := st.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := st.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatal("rewrite after corruption must hit again")
+			}
+		})
+	}
+}
+
+// TestConcurrentStoresSharingDir drives two Store handles (standing in
+// for two processes) over one directory from many goroutines: same-key
+// writers race benignly (content-addressed, identical bytes), and every
+// read observes either a miss or a fully valid entry — never a torn
+// write.
+func TestConcurrentStoresSharingDir(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := []*Store{a, b}
+
+	const keys = 8
+	payload := func(k int) []byte {
+		return bytes.Repeat([]byte{byte('a' + k)}, 1024+k)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := stores[w%2]
+			for i := 0; i < 50; i++ {
+				k := (w + i) % keys
+				key := Key("shared", string(rune('0'+k)))
+				if i%2 == 0 {
+					if err := st.Put(key, payload(k)); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if got, ok := st.Get(key); ok && !bytes.Equal(got, payload(k)) {
+					errs <- fmt.Errorf("key %d: read %d bytes of wrong content", k, len(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent store traffic: %v", err)
+	}
+	// After the dust settles both handles agree on every key.
+	for k := 0; k < keys; k++ {
+		key := Key("shared", string(rune('0'+k)))
+		ga, oka := a.Get(key)
+		gb, okb := b.Get(key)
+		if oka != okb || !bytes.Equal(ga, gb) {
+			t.Fatalf("stores disagree on key %d", k)
+		}
+	}
+}

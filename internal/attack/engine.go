@@ -48,10 +48,17 @@ type Outcome struct {
 // inputs on fresh machines. Every machine is armed with a fault flight
 // recorder, so a detected attack's Fault carries a Forensics report.
 func Run(c *Case, scheme core.Scheme) (*Outcome, error) {
+	return RunWith(core.DefaultPipeline(), c, scheme)
+}
+
+// RunWith is Run through an explicit build pipeline, so a harness with
+// a persistent cache (pythia-bench -cache-dir) shares compile/harden
+// artifacts with the attack matrix too.
+func RunWith(pl *core.Pipeline, c *Case, scheme core.Scheme) (*Outcome, error) {
 	defer obs.TraceSpan(fmt.Sprintf("attack %s [%v]", c.Name, scheme), "attack")()
 	out := &Outcome{Case: c.Name, Scheme: scheme}
 
-	benignProg, err := core.Build(c.Name, c.Source, scheme)
+	benignProg, err := pl.Build(c.Name, c.Source, scheme)
 	if err != nil {
 		return nil, fmt.Errorf("attack: build %s/%v: %w", c.Name, scheme, err)
 	}
@@ -61,7 +68,7 @@ func Run(c *Case, scheme core.Scheme) (*Outcome, error) {
 	}
 	out.Benign = Classify(bres)
 
-	attackProg, err := core.Build(c.Name, c.Source, scheme)
+	attackProg, err := pl.Build(c.Name, c.Source, scheme)
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,11 @@ type Config struct {
 	Quick bool
 	// Parallel sizes the Prewarm worker pool; 0 means GOMAXPROCS.
 	Parallel int
+	// Pipeline, when set, carries the compile/harden stages for every
+	// build this config performs — e.g. one opened over a -cache-dir.
+	// nil gets a fresh in-process pipeline, keeping separate Configs
+	// (the -repeat loop builds one per repeat) honestly cold.
+	Pipeline *core.Pipeline
 
 	runnerOnce sync.Once
 	runner     *Runner
@@ -38,7 +43,13 @@ func DefaultConfig() *Config { return &Config{Profiles: workload.Profiles()} }
 
 // Runner returns the config's shared run cache, created on first use.
 func (c *Config) Runner() *Runner {
-	c.runnerOnce.Do(func() { c.runner = NewRunner() })
+	c.runnerOnce.Do(func() {
+		if c.Pipeline != nil {
+			c.runner = NewRunnerWith(c.Pipeline)
+		} else {
+			c.runner = NewRunner()
+		}
+	})
 	return c.runner
 }
 

@@ -36,6 +36,10 @@ type analysisEntry struct {
 // analysis (vanilla build + slicing) is memoized the same way, keyed by
 // fingerprint alone.
 //
+// Every build flows through the Runner's core.Pipeline, so the compile
+// and harden stages are additionally shared across schemes (and across
+// processes when the pipeline is disk-backed).
+//
 // Determinism invariant (#3 in the README): every build and run is
 // seed-fixed and isolated, so the cache only removes repetition — a
 // cached result is bit-identical to what a fresh execution would return.
@@ -44,15 +48,12 @@ type Runner struct {
 	runs     map[runKey]*runEntry
 	analyses map[string]*analysisEntry
 	stats    Stats
+	pipeline *core.Pipeline
 
 	// done holds every successfully completed run, recorded under mu
 	// after its once fires; Results reads it without touching the
 	// entries' once state, so it is safe alongside in-flight runs.
 	done map[runKey]*workload.RunResult
-
-	// reg mirrors the hit/miss counters into the observability session
-	// active when the Runner was built (nil when none was).
-	reg *obs.Registry
 }
 
 // Stats counts cache traffic; misses are the executions actually paid.
@@ -61,21 +62,41 @@ type Stats struct {
 	AnalysisHits, AnalysisMisses int
 }
 
-// NewRunner returns an empty cache.
-func NewRunner() *Runner {
+// NewRunner returns an empty cache over a fresh in-process pipeline.
+// Each Runner gets its own pipeline so a -repeat loop's fresh Configs
+// stay honestly cold rather than silently sharing the process default.
+func NewRunner() *Runner { return NewRunnerWith(core.NewPipeline()) }
+
+// NewRunnerWith returns an empty cache whose builds flow through pl —
+// the way a -cache-dir-backed pipeline reaches the experiments.
+func NewRunnerWith(pl *core.Pipeline) *Runner {
 	return &Runner{
 		runs:     make(map[runKey]*runEntry),
 		analyses: make(map[string]*analysisEntry),
 		done:     make(map[runKey]*workload.RunResult),
-		reg:      obs.CurrentMetrics(),
+		pipeline: pl,
 	}
 }
+
+// Pipeline returns the pipeline this Runner builds through.
+func (r *Runner) Pipeline() *core.Pipeline { return r.pipeline }
 
 // Stats returns a snapshot of the hit/miss counters.
 func (r *Runner) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.stats
+}
+
+// count mirrors a cache hit/miss into the observability session active
+// right now. Resolving the registry at increment time (rather than
+// capturing it at construction) keeps the counters flowing when a
+// Runner outlives the obs session it was built under — or was built
+// before any session existed, as the repeat loop in pythia-bench does.
+func count(name string) {
+	if reg := obs.CurrentMetrics(); reg != nil {
+		reg.Add(name, 1)
+	}
 }
 
 // Run builds and executes p under scheme, memoized.
@@ -91,15 +112,13 @@ func (r *Runner) Run(p *workload.Profile, scheme core.Scheme) (*workload.RunResu
 		r.stats.RunMisses++
 	}
 	r.mu.Unlock()
-	if r.reg != nil {
-		if ok {
-			r.reg.Add("bench.cache.run.hits", 1)
-		} else {
-			r.reg.Add("bench.cache.run.misses", 1)
-		}
+	if ok {
+		count("bench.cache.run.hits")
+	} else {
+		count("bench.cache.run.misses")
 	}
 	pp := *p // detach from the caller so later mutation can't race the build
-	e.once.Do(func() { e.res, e.err = workload.Run(&pp, scheme) })
+	e.once.Do(func() { e.res, e.err = workload.RunWith(r.pipeline, &pp, scheme) })
 	if e.err == nil && e.res != nil {
 		r.mu.Lock()
 		r.done[k] = e.res
@@ -150,16 +169,14 @@ func (r *Runner) Analyze(p *workload.Profile) (*slice.VulnReport, error) {
 		r.stats.AnalysisMisses++
 	}
 	r.mu.Unlock()
-	if r.reg != nil {
-		if ok {
-			r.reg.Add("bench.cache.analysis.hits", 1)
-		} else {
-			r.reg.Add("bench.cache.analysis.misses", 1)
-		}
+	if ok {
+		count("bench.cache.analysis.hits")
+	} else {
+		count("bench.cache.analysis.misses")
 	}
 	pp := *p
 	e.once.Do(func() {
-		prog, err := workload.Build(&pp, core.SchemeVanilla)
+		prog, err := workload.BuildWith(r.pipeline, &pp, core.SchemeVanilla)
 		if err != nil {
 			e.err = err
 			return

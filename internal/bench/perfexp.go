@@ -30,8 +30,14 @@ func Fig4aRuntimeOverhead(cfg *Config) (*report.Table, error) {
 			return nil, err
 		}
 		base := rs[core.SchemeVanilla]
-		c := rs[core.SchemeCPA].Overhead(base)
-		py := rs[core.SchemePythia].Overhead(base)
+		c, err := rs[core.SchemeCPA].Overhead(base)
+		if err != nil {
+			return nil, err
+		}
+		py, err := rs[core.SchemePythia].Overhead(base)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(p.Name, fmt.Sprintf("%.3f", base.Counters.Cycles/1e6), c, py)
 		sumC += c
 		sumP += py
@@ -147,8 +153,14 @@ func NginxStudy(cfg *Config) (*report.Table, error) {
 			return nil, err
 		}
 		b := rs[core.SchemeVanilla]
-		c := rs[core.SchemeCPA].Overhead(b)
-		py := rs[core.SchemePythia].Overhead(b)
+		c, err := rs[core.SchemeCPA].Overhead(b)
+		if err != nil {
+			return nil, err
+		}
+		py, err := rs[core.SchemePythia].Overhead(b)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("run-%d", i+1), rounds, c, py)
 		sumC += c
 		sumP += py
@@ -185,11 +197,15 @@ func Ablation(cfg *Config) (*report.Table, error) {
 			return nil, err
 		}
 		base := rs[core.SchemeVanilla]
-		t.AddRow(p.Name,
-			rs[core.SchemePythia].Overhead(base),
-			rs[core.SchemeStackOnly].Overhead(base),
-			rs[core.SchemeHeapOnly].Overhead(base),
-			rs[core.SchemeNoRelayout].Overhead(base))
+		cells := []any{p.Name}
+		for _, s := range []core.Scheme{core.SchemePythia, core.SchemeStackOnly, core.SchemeHeapOnly, core.SchemeNoRelayout} {
+			ov, err := rs[s].Overhead(base)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, ov)
+		}
+		t.AddRow(cells...)
 	}
 	t.AddNote("stack-only omits heap sectioning; heap-only omits canaries; no-relayout keeps declaration order (weaker containment, same cost)")
 	return t, nil

@@ -47,11 +47,51 @@ func WarmTasks(cfg *Config, exps []Experiment) []Task {
 	return out
 }
 
-// Prewarm executes every task the experiments declare through the run
-// cache on a pool of cfg.Parallel workers (0 = GOMAXPROCS), returning
-// the worker count actually used. Failures stay in the cache and
-// resurface from the owning experiment, so the error-reporting order is
-// identical to a cold sequential run.
+// forEach fans fn out over n items on up to `workers` goroutines and
+// waits for all of them — the hand-rolled errgroup shape every stage of
+// the prewarm pipeline uses. Failures are not collected here: each
+// stage's outputs are memoized (pipeline entries, run cache), so errors
+// stay cached and resurface from the owning experiment in the same
+// deterministic order a cold sequential run would report them.
+func forEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Prewarm populates the run cache with every task the experiments
+// declare, in three explicitly staged batches over a pool of
+// cfg.Parallel workers (0 = GOMAXPROCS):
+//
+//  1. compile: every distinct profile front-end compile, once
+//  2. harden:  every distinct (profile, scheme) instrumentation,
+//     cloned from stage 1's shared vanilla IR
+//  3. run:     every execution and analysis, all stages warm
+//
+// The old single-batch pool funneled whole Build+Run tasks through the
+// workers, so whichever worker drew a profile first paid its compile
+// while the profile's other schemes queued behind unrelated work; the
+// staged batches instead saturate the pool with the widest level of the
+// build DAG at each step. Returns the worker count used.
 func (c *Config) Prewarm(exps []Experiment) int {
 	tasks := WarmTasks(c, exps)
 	workers := c.Parallel
@@ -70,25 +110,58 @@ func (c *Config) Prewarm(exps []Experiment) int {
 	}
 	defer obs.TraceSpan(fmt.Sprintf("prewarm %d tasks / %d workers", len(tasks), workers), "bench")()
 	r := c.Runner()
-	ch := make(chan Task)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				if t.Analyze {
-					r.Analyze(&t.Profile)
-				} else {
-					r.Run(&t.Profile, t.Scheme)
-				}
-			}
-		}()
-	}
+	pl := r.Pipeline()
+
+	// Stage 1: distinct compiles. Analyze-only tasks need the vanilla
+	// compile too, so every distinct fingerprint appears exactly once.
+	var compiles []workload.Profile
+	seenFP := make(map[string]bool)
 	for _, t := range tasks {
-		ch <- t
+		if fp := t.Profile.Fingerprint(); !seenFP[fp] {
+			seenFP[fp] = true
+			compiles = append(compiles, t.Profile)
+		}
 	}
-	close(ch)
-	wg.Wait()
+	func() {
+		defer obs.TraceSpan(fmt.Sprintf("prewarm compile x%d", len(compiles)), "bench")()
+		forEach(workers, len(compiles), func(i int) {
+			p := compiles[i]
+			pl.PrewarmCompile(p.Name, workload.Source(&p))
+		})
+	}()
+
+	// Stage 2: distinct hardens. Runs need their scheme's module;
+	// analyses only need the vanilla compile stage 1 already paid.
+	var hardens []Task
+	seenHarden := make(map[taskKey]bool)
+	for _, t := range tasks {
+		if t.Analyze {
+			continue
+		}
+		if k := t.key(); !seenHarden[k] {
+			seenHarden[k] = true
+			hardens = append(hardens, t)
+		}
+	}
+	func() {
+		defer obs.TraceSpan(fmt.Sprintf("prewarm harden x%d", len(hardens)), "bench")()
+		forEach(workers, len(hardens), func(i int) {
+			t := hardens[i]
+			pl.PrewarmHarden(t.Profile.Name, workload.Source(&t.Profile), t.Scheme)
+		})
+	}()
+
+	// Stage 3: runs and analyses, every build stage now warm.
+	func() {
+		defer obs.TraceSpan(fmt.Sprintf("prewarm run x%d", len(tasks)), "bench")()
+		forEach(workers, len(tasks), func(i int) {
+			t := tasks[i]
+			if t.Analyze {
+				r.Analyze(&t.Profile)
+			} else {
+				r.Run(&t.Profile, t.Scheme)
+			}
+		})
+	}()
 	return workers
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package bench_test
+
+// raceEnabled trims the full-sweep differential tests under the race
+// detector: execution is ~20x slower there, and the full 16-profile
+// sweeps would push the package past go test's 10-minute timeout. The
+// race-full CI job still covers the trimmed sweep plus every other
+// test at full scope.
+const raceEnabled = true

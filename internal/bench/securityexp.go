@@ -385,11 +385,12 @@ func AttackMatrix(cfg *Config) (*report.Table, error) {
 		Title:   "Attack corpus: outcome per scheme (benign must be clean)",
 		Columns: []string{"case", "kind", "vanilla", "cpa", "pythia", "dfi"},
 	}
+	pl := cfg.Runner().Pipeline()
 	for _, c := range attack.Corpus() {
 		c := c
 		row := []any{c.Name, c.Kind}
 		for _, s := range core.Schemes {
-			o, err := attack.Run(&c, s)
+			o, err := attack.RunWith(pl, &c, s)
 			if err != nil {
 				return nil, err
 			}
@@ -429,9 +430,10 @@ int main() {
 	printf("normal\n");
 	return 0;
 }`
+	pl := cfg.Runner().Pipeline()
 	for _, scheme := range []core.Scheme{core.SchemeVanilla, core.SchemePythia, core.SchemeFields} {
 		verdict := func(stdin string) (string, error) {
-			prog, err := core.Build("fieldcanary", src, scheme)
+			prog, err := pl.Build("fieldcanary", src, scheme)
 			if err != nil {
 				return "", err
 			}

@@ -96,17 +96,13 @@ func Protect(mod *ir.Module, scheme Scheme) (*Protection, error) {
 	return &Protection{Scheme: scheme, Harden: r}, nil
 }
 
-// Build compiles src and protects it with the scheme.
+// Build compiles src and protects it with the scheme, pulling both
+// stages through the process-wide pipeline: the vanilla compile of a
+// source is paid once per process and shared across schemes via a deep
+// IR clone, and each (source, scheme) instrumentation is paid once.
+// The returned Program owns its module outright.
 func Build(name, src string, scheme Scheme) (*Program, error) {
-	mod, err := CompileC(name, src)
-	if err != nil {
-		return nil, fmt.Errorf("core: compile %s: %w", name, err)
-	}
-	prot, err := Protect(mod, scheme)
-	if err != nil {
-		return nil, fmt.Errorf("core: protect %s with %v: %w", name, scheme, err)
-	}
-	return &Program{Mod: mod, Protection: prot, Seed: 42}, nil
+	return defaultPipeline.Build(name, src, scheme)
 }
 
 // NewMachine instantiates a fresh VM for the program.

@@ -1,0 +1,330 @@
+package core
+
+// The staged build pipeline. Build used to be a monolith — every
+// (source, scheme) request re-ran the front-end, the optimizer, and the
+// vulnerability analysis from scratch, so the vanilla compile of each
+// benchmark was repeated once per scheme per process. Pipeline splits
+// the work into explicitly memoized stages:
+//
+//	compile: source -> optimized vanilla IR        (keyed by source)
+//	harden:  vanilla IR x scheme -> hardened IR    (keyed by IR digest x scheme)
+//	run:     unchanged (memoized per-process by internal/bench)
+//
+// Both stages coalesce concurrent requests in-process (singleflight)
+// and, when the pipeline is opened over a cache directory, persist
+// their outputs in a content-addressed artifact store shared across
+// processes. The harden stage derives each scheme's module from the
+// shared vanilla compile via a deep IR clone instead of recompiling.
+//
+// Determinism invariant: a Program built through any mix of cold
+// stages, warm in-process stages, and warm on-disk stages is
+// bit-identical in behavior. The pipeline enforces this by
+// construction — every Build returns a module decoded from the stage's
+// canonical encoding, so the cold path exercises exactly the
+// serialize/deserialize round-trip the warm path depends on, and each
+// caller owns its module outright (machines write global addresses
+// into the module, so sharing one across concurrent VMs is a race).
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/dfi"
+	"repro/internal/harden"
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// PipelineVersion names the pipeline's artifact schema. It is folded
+// into every cache key together with ir.SerialVersion, so changing
+// either invalidates persisted entries cleanly (stale keys are simply
+// never looked up again).
+const PipelineVersion = "pythia-pipeline-v1"
+
+// Pipeline memoizes the compile and harden stages. The zero value is
+// not usable; construct with NewPipeline or OpenPipeline.
+type Pipeline struct {
+	store *artifact.Store // nil: in-process memoization only
+
+	mu       sync.Mutex
+	compiles map[string]*compileEntry
+	hardens  map[string]*hardenEntry
+}
+
+// compileEntry is one memoized vanilla compile. mod is shared across
+// every downstream harden as read-only clone source.
+type compileEntry struct {
+	once   sync.Once
+	mod    *ir.Module
+	enc    []byte
+	digest string // artifact.Key of enc: the harden stage's upstream key
+	err    error
+}
+
+// hardenEntry is one memoized (vanilla IR, scheme) instrumentation. It
+// holds the canonical encoding, not a module: every Build decodes a
+// fresh module so callers own what they get.
+type hardenEntry struct {
+	once sync.Once
+	enc  []byte
+	prot Protection
+	err  error
+}
+
+// NewPipeline returns a pipeline with in-process memoization only.
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		compiles: make(map[string]*compileEntry),
+		hardens:  make(map[string]*hardenEntry),
+	}
+}
+
+// OpenPipeline returns a pipeline whose compile and harden stages are
+// additionally backed by a persistent content-addressed store at dir.
+func OpenPipeline(dir string) (*Pipeline, error) {
+	st, err := artifact.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	pl := NewPipeline()
+	pl.store = st
+	return pl, nil
+}
+
+// defaultPipeline serves the package-level Build/CompileC convenience
+// entry points, giving every caller in the process — the attack matrix,
+// the fuzzer's per-worker program tables, examples — shared compile and
+// harden stages for free.
+var defaultPipeline = NewPipeline()
+
+// DefaultPipeline returns the process-wide pipeline (no persistent
+// store). Callers that want an isolated cache or a -cache-dir-backed
+// one construct their own via NewPipeline/OpenPipeline.
+func DefaultPipeline() *Pipeline { return defaultPipeline }
+
+// count bumps a pipeline obs counter, resolving the active registry at
+// increment time.
+func count(name string) {
+	if reg := obs.CurrentMetrics(); reg != nil {
+		reg.Add(name, 1)
+	}
+}
+
+// compileKey derives the compile stage's cache key.
+func compileKey(name, src string) string {
+	return artifact.Key("compile", PipelineVersion, strconv.Itoa(ir.SerialVersion), name, src)
+}
+
+// hardenKey derives the harden stage's cache key from the upstream
+// compile digest.
+func hardenKey(compileDigest string, scheme Scheme) string {
+	return artifact.Key("harden", PipelineVersion, strconv.Itoa(ir.SerialVersion), compileDigest, scheme.String())
+}
+
+// compile resolves the compile stage for (name, src): in-process memo,
+// then persistent store, then the real front-end. The returned entry's
+// mod is shared and must be treated as read-only; Harden clones it.
+func (pl *Pipeline) compile(name, src string) *compileEntry {
+	key := compileKey(name, src)
+	pl.mu.Lock()
+	e, ok := pl.compiles[key]
+	if !ok {
+		e = &compileEntry{}
+		pl.compiles[key] = e
+	}
+	pl.mu.Unlock()
+	if ok {
+		count("pipeline.compile.hits")
+	}
+	e.once.Do(func() {
+		if pl.store != nil {
+			if enc, ok := pl.store.Get(key); ok {
+				mod, err := ir.DecodeModule(enc)
+				if err == nil {
+					count("pipeline.compile.disk_hits")
+					e.mod, e.enc, e.digest = mod, enc, artifact.Key(string(enc))
+					return
+				}
+				// Undecodable entry: fall through and recompile.
+			}
+		}
+		count("pipeline.compile.misses")
+		mod, err := CompileC(name, src)
+		if err != nil {
+			e.err = err
+			return
+		}
+		enc, err := ir.EncodeModule(mod)
+		if err != nil {
+			e.err = fmt.Errorf("core: encode compiled %s: %w", name, err)
+			return
+		}
+		// Hand out the decoded form, not the compiler's: cold and warm
+		// paths then flow through the identical bytes, and the codec is
+		// validated on every fresh compile.
+		e.mod, err = ir.DecodeModule(enc)
+		if err != nil {
+			e.err = fmt.Errorf("core: reload compiled %s: %w", name, err)
+			return
+		}
+		e.enc, e.digest = enc, artifact.Key(string(enc))
+		if pl.store != nil {
+			if err := pl.store.Put(key, enc); err != nil {
+				e.err = fmt.Errorf("core: persist compiled %s: %w", name, err)
+			}
+		}
+	})
+	return e
+}
+
+// Compile returns the optimized vanilla module for src. The module is
+// owned by the caller (a fresh decode of the stage's canonical bytes),
+// so hardening or analyzing it never perturbs the shared cache.
+func (pl *Pipeline) Compile(name, src string) (*ir.Module, error) {
+	e := pl.compile(name, src)
+	if e.err != nil {
+		return nil, fmt.Errorf("core: compile %s: %w", name, e.err)
+	}
+	mod, err := ir.DecodeModule(e.enc)
+	if err != nil {
+		return nil, fmt.Errorf("core: reload compiled %s: %w", name, err)
+	}
+	return mod, nil
+}
+
+// harden resolves the harden stage for (compiled vanilla, scheme).
+func (pl *Pipeline) harden(name string, ce *compileEntry, scheme Scheme) *hardenEntry {
+	key := hardenKey(ce.digest, scheme)
+	pl.mu.Lock()
+	e, ok := pl.hardens[key]
+	if !ok {
+		e = &hardenEntry{}
+		pl.hardens[key] = e
+	}
+	pl.mu.Unlock()
+	if ok {
+		count("pipeline.harden.hits")
+	}
+	e.once.Do(func() {
+		if pl.store != nil {
+			if raw, ok := pl.store.Get(key); ok {
+				enc, prot, err := decodeHardened(raw)
+				if err == nil {
+					count("pipeline.harden.disk_hits")
+					e.enc, e.prot = enc, prot
+					return
+				}
+			}
+		}
+		count("pipeline.harden.misses")
+		mod := ce.mod.Clone()
+		prot, err := Protect(mod, scheme)
+		if err != nil {
+			e.err = err
+			return
+		}
+		enc, err := ir.EncodeModule(mod)
+		if err != nil {
+			e.err = fmt.Errorf("core: encode hardened %s: %w", name, err)
+			return
+		}
+		e.enc, e.prot = enc, *prot
+		if pl.store != nil {
+			raw, err := encodeHardened(enc, prot)
+			if err != nil {
+				e.err = fmt.Errorf("core: persist hardened %s: %w", name, err)
+				return
+			}
+			if err := pl.store.Put(key, raw); err != nil {
+				e.err = fmt.Errorf("core: persist hardened %s: %w", name, err)
+			}
+		}
+	})
+	return e
+}
+
+// PrewarmCompile resolves the compile stage for (name, src) without
+// decoding a module — the batched prewarm pool uses it to pay each
+// distinct front-end compile exactly once before any scheme fan-out.
+func (pl *Pipeline) PrewarmCompile(name, src string) error {
+	e := pl.compile(name, src)
+	return e.err
+}
+
+// PrewarmHarden resolves the compile and harden stages for (name, src,
+// scheme) without decoding a module.
+func (pl *Pipeline) PrewarmHarden(name, src string, scheme Scheme) error {
+	ce := pl.compile(name, src)
+	if ce.err != nil {
+		return ce.err
+	}
+	return pl.harden(name, ce, scheme).err
+}
+
+// Build compiles src and protects it with the scheme, pulling both
+// stages through the pipeline's caches. The returned Program is owned
+// by the caller: its module shares nothing mutable with other Builds,
+// so programs from separate calls may run concurrently.
+func (pl *Pipeline) Build(name, src string, scheme Scheme) (*Program, error) {
+	ce := pl.compile(name, src)
+	if ce.err != nil {
+		return nil, fmt.Errorf("core: compile %s: %w", name, ce.err)
+	}
+	he := pl.harden(name, ce, scheme)
+	if he.err != nil {
+		return nil, fmt.Errorf("core: protect %s with %v: %w", name, scheme, he.err)
+	}
+	mod, err := ir.DecodeModule(he.enc)
+	if err != nil {
+		return nil, fmt.Errorf("core: reload hardened %s: %w", name, err)
+	}
+	prot := he.prot // copy; reports below are re-pointed at copies
+	if he.prot.Harden != nil {
+		h := *he.prot.Harden
+		prot.Harden = &h
+	}
+	if he.prot.DFI != nil {
+		d := *he.prot.DFI
+		prot.DFI = &d
+	}
+	return &Program{Mod: mod, Protection: &prot, Seed: 42}, nil
+}
+
+// protMeta is the persisted shape of a Protection: the scheme plus
+// whichever report its pass produced. Reports are flat exported-int
+// structs, so JSON round-trips them exactly.
+type protMeta struct {
+	Scheme harden.Scheme  `json:"scheme"`
+	Harden *harden.Report `json:"harden,omitempty"`
+	DFI    *dfi.Report    `json:"dfi,omitempty"`
+}
+
+// encodeHardened frames a harden artifact: varint meta length, the
+// protection metadata JSON, then the module encoding.
+func encodeHardened(enc []byte, prot *Protection) ([]byte, error) {
+	meta, err := json.Marshal(protMeta{Scheme: prot.Scheme, Harden: prot.Harden, DFI: prot.DFI})
+	if err != nil {
+		return nil, err
+	}
+	out := binary.AppendUvarint(nil, uint64(len(meta)))
+	out = append(out, meta...)
+	return append(out, enc...), nil
+}
+
+// decodeHardened splits a harden artifact back into the module encoding
+// and its protection.
+func decodeHardened(raw []byte) ([]byte, Protection, error) {
+	n, sz := binary.Uvarint(raw)
+	if sz <= 0 || n > uint64(len(raw)-sz) {
+		return nil, Protection{}, fmt.Errorf("core: harden artifact header truncated")
+	}
+	var meta protMeta
+	if err := json.Unmarshal(raw[sz:sz+int(n)], &meta); err != nil {
+		return nil, Protection{}, fmt.Errorf("core: harden artifact metadata: %w", err)
+	}
+	return raw[sz+int(n):], Protection{Scheme: meta.Scheme, Harden: meta.Harden, DFI: meta.DFI}, nil
+}

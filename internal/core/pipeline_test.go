@@ -1,0 +1,235 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// withMetrics runs fn under a fresh obs metrics session and returns the
+// registry for counter assertions.
+func withMetrics(t *testing.T, fn func()) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	obs.Start(&obs.Session{Metrics: reg})
+	defer obs.Stop()
+	fn()
+	return reg
+}
+
+func counter(reg *obs.Registry, name string) int64 {
+	return reg.Counter(name).Value()
+}
+
+// TestPipelineOneCompilePerSource is the acceptance check for the
+// staged pipeline: building one source under every scheme — including
+// concurrent duplicate requests — pays exactly one front-end compile
+// and one harden per scheme.
+func TestPipelineOneCompilePerSource(t *testing.T) {
+	pl := core.NewPipeline()
+	reg := withMetrics(t, func() {
+		var wg sync.WaitGroup
+		for rep := 0; rep < 3; rep++ {
+			for _, s := range core.Schemes {
+				s := s
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := pl.Build("t", prog, s); err != nil {
+						t.Error(err)
+					}
+				}()
+			}
+		}
+		wg.Wait()
+	})
+	if got := counter(reg, "pipeline.compile.misses"); got != 1 {
+		t.Errorf("compile misses = %d, want exactly 1 for one source", got)
+	}
+	if got := counter(reg, "pipeline.harden.misses"); got != int64(len(core.Schemes)) {
+		t.Errorf("harden misses = %d, want one per scheme (%d)", got, len(core.Schemes))
+	}
+	if counter(reg, "pipeline.compile.hits")+counter(reg, "pipeline.harden.hits") == 0 {
+		t.Error("duplicate requests must be served as memo hits")
+	}
+}
+
+// TestBuildReturnsOwnedModules: machines write global addresses into
+// their module, so two Builds of the same key must not share one.
+func TestBuildReturnsOwnedModules(t *testing.T) {
+	pl := core.NewPipeline()
+	a, err := pl.Build("t", prog, core.SchemePythia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pl.Build("t", prog, core.SchemePythia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mod == b.Mod {
+		t.Fatal("cached Build handed out a shared module")
+	}
+	if a.Protection == b.Protection || a.Protection.Harden == b.Protection.Harden {
+		t.Fatal("cached Build handed out shared protection reports")
+	}
+	ra, err := a.Run("bob\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Run("bob\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Ret != rb.Ret || string(ra.Stdout) != string(rb.Stdout) || *ra.Counters != *rb.Counters {
+		t.Fatal("cached Build must be observationally identical to a fresh one")
+	}
+}
+
+// TestPipelineDiskCache covers the persistent store: a second pipeline
+// over the same directory (a stand-in for a second process) serves
+// compile and harden from disk, and the resulting program behaves
+// bit-identically to the cold one.
+func TestPipelineDiskCache(t *testing.T) {
+	dir := t.TempDir()
+
+	pl1, err := core.OpenPipeline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold *core.Program
+	regCold := withMetrics(t, func() {
+		if cold, err = pl1.Build("t", prog, core.SchemePythia); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := counter(regCold, "pipeline.compile.misses"); got != 1 {
+		t.Fatalf("cold compile misses = %d", got)
+	}
+	if got := counter(regCold, "artifact.put.writes"); got != 2 {
+		t.Fatalf("cold run must persist compile+harden, wrote %d", got)
+	}
+
+	pl2, err := core.OpenPipeline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warm *core.Program
+	regWarm := withMetrics(t, func() {
+		if warm, err = pl2.Build("t", prog, core.SchemePythia); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := counter(regWarm, "pipeline.compile.disk_hits"); got != 1 {
+		t.Fatalf("warm compile disk hits = %d", got)
+	}
+	if got := counter(regWarm, "pipeline.harden.disk_hits"); got != 1 {
+		t.Fatalf("warm harden disk hits = %d", got)
+	}
+	if got := counter(regWarm, "pipeline.compile.misses") + counter(regWarm, "pipeline.harden.misses"); got != 0 {
+		t.Fatalf("warm run recompiled %d stages", got)
+	}
+
+	if cold.Mod.String() != warm.Mod.String() {
+		t.Fatal("disk round-trip changed the module")
+	}
+	if *cold.Protection.Harden != *warm.Protection.Harden {
+		t.Fatalf("protection report changed across disk: %+v vs %+v", cold.Protection.Harden, warm.Protection.Harden)
+	}
+	rc, err := cold.Run("bob\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := warm.Run("bob\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Ret != rw.Ret || string(rc.Stdout) != string(rw.Stdout) || *rc.Counters != *rw.Counters {
+		t.Fatal("warm program diverged from cold program")
+	}
+}
+
+// TestPipelineCorruptArtifactsRecompiled truncates every persisted
+// entry and demands a fresh pipeline silently recompile and rewrite.
+func TestPipelineCorruptArtifactsRecompiled(t *testing.T) {
+	dir := t.TempDir()
+	pl1, err := core.OpenPipeline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := pl1.Build("t", prog, core.SchemeCPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := 0
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		n++
+		return os.Truncate(path, info.Size()/2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no artifacts were persisted")
+	}
+
+	pl2, err := core.OpenPipeline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt *core.Program
+	reg := withMetrics(t, func() {
+		if rebuilt, err = pl2.Build("t", prog, core.SchemeCPA); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := counter(reg, "artifact.get.corrupt"); got == 0 {
+		t.Error("corrupt entries must be detected, not served")
+	}
+	if got := counter(reg, "pipeline.compile.misses"); got != 1 {
+		t.Errorf("corrupt compile artifact must force a recompile, misses = %d", got)
+	}
+	if rebuilt.Mod.String() != cold.Mod.String() {
+		t.Fatal("recompiled module differs from the original")
+	}
+	// The rewrite restored the entries: a third pipeline hits disk again.
+	pl3, err := core.OpenPipeline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg3 := withMetrics(t, func() {
+		if _, err := pl3.Build("t", prog, core.SchemeCPA); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := counter(reg3, "pipeline.compile.disk_hits") + counter(reg3, "pipeline.harden.disk_hits"); got != 2 {
+		t.Errorf("entries not restored after corruption: %d disk hits", got)
+	}
+}
+
+// TestPipelineCompileOwnsModule: Compile hands out caller-owned
+// modules too.
+func TestPipelineCompileOwnsModule(t *testing.T) {
+	pl := core.NewPipeline()
+	a, err := pl.Compile("t", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pl.Compile("t", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("Compile handed out a shared module")
+	}
+	if a.String() != b.String() {
+		t.Fatal("Compile results must be identical")
+	}
+}

@@ -88,6 +88,16 @@ func classifyPair(vanilla, defense verdict) string {
 	return ""
 }
 
+// buildPipeline is the compile/harden pipeline every program build in
+// this package flows through. It defaults to the process-wide pipeline
+// and is swapped at most once, at startup, by UsePipeline.
+var buildPipeline = core.DefaultPipeline()
+
+// UsePipeline routes all program builds — worker tables, replay, the
+// -repro matrix — through pl (e.g. one opened over a -cache-dir). Call
+// before Run/Replay; the pipeline is read without synchronization.
+func UsePipeline(pl *core.Pipeline) { buildPipeline = pl }
+
 // worker is one evaluation lane of the pool.
 type worker struct {
 	progs map[string]*core.Program
@@ -105,7 +115,7 @@ func (w *worker) program(t *Target, s core.Scheme) (*core.Program, error) {
 	if p, ok := w.progs[key]; ok {
 		return p, nil
 	}
-	p, err := core.Build(t.Name, t.Source, s)
+	p, err := buildPipeline.Build(t.Name, t.Source, s)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +170,7 @@ func (w *worker) eval(t *Target, input []byte) (*evalOut, error) {
 // and returns the result — the triage path that attaches forensics to
 // a finding.
 func replay(t *Target, s core.Scheme, input []byte) (*vm.Result, error) {
-	p, err := core.Build(t.Name, t.Source, s)
+	p, err := buildPipeline.Build(t.Name, t.Source, s)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,716 @@
+package ir
+
+// A versioned, deterministic binary codec for modules. The persistent
+// artifact store (internal/artifact) keys compile and harden outputs by
+// content digest and must round-trip *everything* that affects
+// execution or later passes — stack plans, channel classifications,
+// function attributes, instruction metadata, sealed globals, DFI
+// def-sets — none of which survive the textual printer/parser pair.
+//
+// Format (all integers varint/uvarint, strings and byte slices
+// length-prefixed):
+//
+//	magic "PYIR" | version | module name
+//	type table:   count, kind bytes, then per-type payloads
+//	globals:      name, elem type, init, str, sealed
+//	functions:    signatures (incl. params, channel, attrs, counters),
+//	              then bodies (blocks, instructions, stack plan)
+//
+// Types form an arbitrary graph (self-referential structs via pointer
+// fields), so the table is decoded in two passes: allocate one shell
+// per kind byte, then fill payloads, letting any payload reference any
+// index. Instructions likewise: shells first, then operands.
+//
+// Encoding is deterministic — map-backed fields (attrs, metadata) are
+// emitted in sorted key order — so equal modules produce equal bytes
+// and the content digest of an encoding is a sound cache key.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// SerialVersion is the codec version. Bump it whenever the encoding
+// changes shape; the artifact store folds it into both the entry header
+// and the cache key, so stale on-disk entries miss cleanly instead of
+// decoding garbage.
+const SerialVersion = 1
+
+var serialMagic = []byte("PYIR")
+
+// type table kind bytes.
+const (
+	tkVoid = iota
+	tkInt
+	tkPtr
+	tkArray
+	tkStruct
+	tkFunc
+)
+
+// value reference tags.
+const (
+	vtConst = iota
+	vtGlobal
+	vtParam
+	vtInstr
+)
+
+// EncodeModule serializes m to its canonical binary form.
+func EncodeModule(m *Module) ([]byte, error) {
+	e := &encoder{}
+	e.raw(serialMagic)
+	e.u(SerialVersion)
+	e.str(m.Name)
+
+	// Collect every reachable type in deterministic first-visit order.
+	typeIdx := make(map[Type]int)
+	var types []Type
+	var visitType func(t Type) int
+	visitType = func(t Type) int {
+		if t == nil {
+			panic("ir: encode: nil type")
+		}
+		if i, ok := typeIdx[t]; ok {
+			return i
+		}
+		i := len(types)
+		typeIdx[t] = i
+		types = append(types, t)
+		switch tt := t.(type) {
+		case *PtrType:
+			visitType(tt.Elem)
+		case *ArrayType:
+			visitType(tt.Elem)
+		case *StructType:
+			for _, f := range tt.Fields {
+				visitType(f.Type)
+			}
+		case *FuncType:
+			visitType(tt.Ret)
+			for _, p := range tt.Params {
+				visitType(p)
+			}
+		}
+		return i
+	}
+	visitValType := func(v Value) {
+		if c, ok := v.(*Const); ok {
+			visitType(c.Typ)
+		}
+	}
+	for _, g := range m.Globals {
+		visitType(g.Elem)
+	}
+	for _, f := range m.Funcs {
+		visitType(f.Sig)
+		for _, p := range f.Params {
+			visitType(p.Typ)
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				visitType(in.Typ)
+				if in.AllocTy != nil {
+					visitType(in.AllocTy)
+				}
+				for _, a := range in.Args {
+					visitValType(a)
+				}
+				for _, edge := range in.Incoming {
+					visitValType(edge.Val)
+				}
+			}
+		}
+	}
+
+	e.u(uint64(len(types)))
+	for _, t := range types {
+		switch t.(type) {
+		case *VoidType:
+			e.b(tkVoid)
+		case *IntType:
+			e.b(tkInt)
+		case *PtrType:
+			e.b(tkPtr)
+		case *ArrayType:
+			e.b(tkArray)
+		case *StructType:
+			e.b(tkStruct)
+		case *FuncType:
+			e.b(tkFunc)
+		default:
+			return nil, fmt.Errorf("ir: encode: unknown type %T", t)
+		}
+	}
+	for _, t := range types {
+		switch tt := t.(type) {
+		case *VoidType:
+		case *IntType:
+			e.u(uint64(tt.Bits))
+		case *PtrType:
+			e.u(uint64(typeIdx[tt.Elem]))
+		case *ArrayType:
+			e.u(uint64(typeIdx[tt.Elem]))
+			e.i(tt.Len)
+		case *StructType:
+			e.str(tt.Name)
+			e.u(uint64(len(tt.Fields)))
+			for _, f := range tt.Fields {
+				e.str(f.Name)
+				e.u(uint64(typeIdx[f.Type]))
+			}
+		case *FuncType:
+			e.u(uint64(typeIdx[tt.Ret]))
+			e.u(uint64(len(tt.Params)))
+			for _, p := range tt.Params {
+				e.u(uint64(typeIdx[p]))
+			}
+			e.bool(tt.Variadic)
+		}
+	}
+
+	globalIdx := make(map[*Global]int, len(m.Globals))
+	e.u(uint64(len(m.Globals)))
+	for i, g := range m.Globals {
+		globalIdx[g] = i
+		e.str(g.GName)
+		e.u(uint64(typeIdx[g.Elem]))
+		e.bytes(g.Init)
+		e.str(g.Str)
+		e.bool(g.Sealed)
+	}
+
+	funcIdx := make(map[*Func]int, len(m.Funcs))
+	for i, f := range m.Funcs {
+		funcIdx[f] = i
+	}
+	e.u(uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		e.str(f.FName)
+		e.u(uint64(typeIdx[f.Sig]))
+		e.i(int64(f.Channel))
+		e.u(uint64(len(f.Params)))
+		for _, p := range f.Params {
+			e.str(p.PName)
+			e.u(uint64(typeIdx[p.Typ]))
+		}
+		e.sortedMap(f.Attrs)
+		e.u(uint64(f.nextName))
+		e.u(uint64(f.nextBlk))
+	}
+
+	for _, f := range m.Funcs {
+		blockIdx := make(map[*Block]int, len(f.Blocks))
+		instrIdx := make(map[*Instr]int)
+		flat := 0
+		for bi, b := range f.Blocks {
+			blockIdx[b] = bi
+			for _, in := range b.Instrs {
+				instrIdx[in] = flat
+				flat++
+			}
+		}
+		valRef := func(v Value) error {
+			switch t := v.(type) {
+			case *Const:
+				e.b(vtConst)
+				e.u(uint64(typeIdx[t.Typ]))
+				e.i(t.Val)
+			case *Global:
+				e.b(vtGlobal)
+				e.u(uint64(globalIdx[t]))
+			case *Param:
+				if t.Parent != f {
+					return fmt.Errorf("ir: encode: @%s references foreign param %%%s", f.FName, t.PName)
+				}
+				e.b(vtParam)
+				e.u(uint64(t.Index))
+			case *Instr:
+				i, ok := instrIdx[t]
+				if !ok {
+					return fmt.Errorf("ir: encode: @%s references foreign instr %v", f.FName, t)
+				}
+				e.b(vtInstr)
+				e.u(uint64(i))
+			default:
+				return fmt.Errorf("ir: encode: unsupported value %T", v)
+			}
+			return nil
+		}
+
+		e.u(uint64(len(f.Blocks)))
+		for _, b := range f.Blocks {
+			e.str(b.Name)
+			e.u(uint64(len(b.Instrs)))
+			for _, in := range b.Instrs {
+				e.i(int64(in.Op))
+				e.str(in.Nam)
+				e.u(uint64(typeIdx[in.Typ]))
+				e.u(uint64(len(in.Args)))
+				for _, a := range in.Args {
+					if err := valRef(a); err != nil {
+						return nil, err
+					}
+				}
+				if in.AllocTy != nil {
+					e.bool(true)
+					e.u(uint64(typeIdx[in.AllocTy]))
+				} else {
+					e.bool(false)
+				}
+				e.i(int64(in.Pred))
+				e.u(uint64(len(in.Succs)))
+				for _, s := range in.Succs {
+					e.u(uint64(blockIdx[s]))
+				}
+				if in.Callee != nil {
+					e.bool(true)
+					e.u(uint64(funcIdx[in.Callee]))
+				} else {
+					e.bool(false)
+				}
+				e.u(uint64(len(in.Incoming)))
+				for _, edge := range in.Incoming {
+					if err := valRef(edge.Val); err != nil {
+						return nil, err
+					}
+					e.u(uint64(blockIdx[edge.Pred]))
+				}
+				e.i(int64(in.DefID))
+				e.u(uint64(len(in.Allowed)))
+				for _, a := range in.Allowed {
+					e.i(int64(a))
+				}
+				e.sortedMap(in.Meta)
+				e.i(int64(in.ID))
+			}
+		}
+
+		if f.Plan == nil {
+			e.bool(false)
+		} else {
+			e.bool(true)
+			e.i(f.Plan.Size)
+			e.u(uint64(len(f.Plan.Slots)))
+			for _, s := range f.Plan.Slots {
+				if s.Alloca != nil {
+					i, ok := instrIdx[s.Alloca]
+					if !ok {
+						return nil, fmt.Errorf("ir: encode: @%s plan references foreign alloca", f.FName)
+					}
+					e.i(int64(i))
+				} else {
+					e.i(-1)
+				}
+				e.i(s.Offset)
+				e.i(s.Size)
+				e.bool(s.Canary)
+				e.bool(s.Vuln)
+				e.bool(s.Sealed)
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+// DecodeModule rebuilds a module from EncodeModule's output. Malformed
+// or truncated input yields an error, never a panic: the artifact store
+// treats a failed decode as a cache miss and recompiles.
+func DecodeModule(data []byte) (mod *Module, err error) {
+	defer func() {
+		// Belt and braces: index arithmetic on corrupt input is turned
+		// into an error rather than taking the process down.
+		if r := recover(); r != nil {
+			mod, err = nil, fmt.Errorf("ir: decode: malformed module: %v", r)
+		}
+	}()
+	d := &decoder{buf: data}
+	if string(d.raw(len(serialMagic))) != string(serialMagic) {
+		return nil, fmt.Errorf("ir: decode: bad magic")
+	}
+	if v := d.u(); v != SerialVersion {
+		return nil, fmt.Errorf("ir: decode: version %d, want %d", v, SerialVersion)
+	}
+	m := NewModule(d.str())
+
+	ntypes := d.count()
+	types := make([]Type, ntypes)
+	for i := range types {
+		switch k := d.b(); k {
+		case tkVoid:
+			types[i] = &VoidType{}
+		case tkInt:
+			types[i] = &IntType{}
+		case tkPtr:
+			types[i] = &PtrType{}
+		case tkArray:
+			types[i] = &ArrayType{}
+		case tkStruct:
+			types[i] = &StructType{}
+		case tkFunc:
+			types[i] = &FuncType{}
+		default:
+			return nil, fmt.Errorf("ir: decode: unknown type kind %d", k)
+		}
+	}
+	typeAt := func(i uint64) Type {
+		return types[i] // panics (recovered) on out-of-range corrupt index
+	}
+	for _, t := range types {
+		switch tt := t.(type) {
+		case *VoidType:
+		case *IntType:
+			tt.Bits = int(d.u())
+		case *PtrType:
+			tt.Elem = typeAt(d.u())
+		case *ArrayType:
+			tt.Elem = typeAt(d.u())
+			tt.Len = d.i()
+		case *StructType:
+			tt.Name = d.str()
+			n := d.count()
+			tt.Fields = make([]StructField, n)
+			for i := range tt.Fields {
+				tt.Fields[i].Name = d.str()
+				tt.Fields[i].Type = typeAt(d.u())
+			}
+		case *FuncType:
+			tt.Ret = typeAt(d.u())
+			n := d.count()
+			tt.Params = make([]Type, n)
+			for i := range tt.Params {
+				tt.Params[i] = typeAt(d.u())
+			}
+			tt.Variadic = d.bool()
+		}
+	}
+
+	nglobals := d.count()
+	globals := make([]*Global, nglobals)
+	for i := range globals {
+		g := &Global{GName: d.str(), Elem: typeAt(d.u())}
+		g.Init = d.bytes()
+		g.Str = d.str()
+		g.Sealed = d.bool()
+		globals[i] = g
+		m.Globals = append(m.Globals, g)
+	}
+
+	nfuncs := d.count()
+	funcs := make([]*Func, nfuncs)
+	for i := range funcs {
+		f := &Func{FName: d.str(), Parent: m}
+		sig, ok := typeAt(d.u()).(*FuncType)
+		if !ok {
+			return nil, fmt.Errorf("ir: decode: @%s signature is not a func type", f.FName)
+		}
+		f.Sig = sig
+		f.Channel = ChannelKind(d.i())
+		nparams := d.count()
+		for pi := 0; pi < nparams; pi++ {
+			f.Params = append(f.Params, &Param{
+				PName: d.str(), Typ: typeAt(d.u()), Index: pi, Parent: f,
+			})
+		}
+		f.Attrs = d.sortedMap()
+		f.nextName = int(d.u())
+		f.nextBlk = int(d.u())
+		funcs[i] = f
+		m.Funcs = append(m.Funcs, f)
+		m.funcIndex[f.FName] = f
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+
+	for _, f := range funcs {
+		nblocks := d.count()
+		var flat []*Instr
+		type fixup struct {
+			in        *Instr
+			args      [][2]uint64 // tag, payload of deferred refs (consts resolved inline)
+			succs     []uint64
+			incVals   [][2]uint64
+			incConsts map[int]*Const
+			incPreds  []uint64
+			callee    int64 // -1 none
+		}
+		var fixups []*fixup
+		for bi := 0; bi < nblocks; bi++ {
+			b := &Block{Name: d.str(), Parent: f}
+			f.Blocks = append(f.Blocks, b)
+			ninstrs := d.count()
+			for ii := 0; ii < ninstrs; ii++ {
+				in := &Instr{Op: Op(d.i()), Nam: d.str(), Typ: typeAt(d.u()), Block: b}
+				fx := &fixup{in: in, callee: -1}
+				nargs := d.count()
+				in.Args = make([]Value, nargs)
+				for ai := 0; ai < nargs; ai++ {
+					tag, payload, c := d.valRef(typeAt)
+					if c != nil {
+						in.Args[ai] = c
+					} else {
+						// Deferred refs fill the nil arg slots in order
+						// once every instruction shell exists.
+						fx.args = append(fx.args, [2]uint64{tag, payload})
+					}
+				}
+				if d.bool() {
+					in.AllocTy = typeAt(d.u())
+				}
+				in.Pred = Pred(d.i())
+				nsuccs := d.count()
+				for si := 0; si < nsuccs; si++ {
+					fx.succs = append(fx.succs, d.u())
+				}
+				if d.bool() {
+					fx.callee = int64(d.u())
+				}
+				ninc := d.count()
+				in.Incoming = make([]PhiEdge, ninc)
+				for ei := 0; ei < ninc; ei++ {
+					tag, payload, c := d.valRef(typeAt)
+					if c != nil {
+						if fx.incConsts == nil {
+							fx.incConsts = map[int]*Const{}
+						}
+						fx.incConsts[ei] = c
+					} else {
+						fx.incVals = append(fx.incVals, [2]uint64{tag, payload})
+					}
+					fx.incPreds = append(fx.incPreds, d.u())
+				}
+				in.DefID = int(d.i())
+				nallowed := d.count()
+				for ai := 0; ai < nallowed; ai++ {
+					in.Allowed = append(in.Allowed, int(d.i()))
+				}
+				in.Meta = d.sortedMap()
+				in.ID = int(d.i())
+				b.Instrs = append(b.Instrs, in)
+				flat = append(flat, in)
+				fixups = append(fixups, fx)
+			}
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		resolve := func(tag, payload uint64) (Value, error) {
+			switch tag {
+			case vtGlobal:
+				return globals[payload], nil
+			case vtParam:
+				return f.Params[payload], nil
+			case vtInstr:
+				return flat[payload], nil
+			}
+			return nil, fmt.Errorf("ir: decode: bad value tag %d", tag)
+		}
+		for _, fx := range fixups {
+			ref := 0
+			for ai := range fx.in.Args {
+				if fx.in.Args[ai] != nil {
+					continue
+				}
+				v, err := resolve(fx.args[ref][0], fx.args[ref][1])
+				if err != nil {
+					return nil, err
+				}
+				fx.in.Args[ai] = v
+				ref++
+			}
+			for _, si := range fx.succs {
+				fx.in.Succs = append(fx.in.Succs, f.Blocks[si])
+			}
+			if fx.callee >= 0 {
+				fx.in.Callee = funcs[fx.callee]
+			}
+			ref = 0
+			for ei := range fx.in.Incoming {
+				if c, ok := fx.incConsts[ei]; ok {
+					fx.in.Incoming[ei].Val = c
+				} else {
+					v, err := resolve(fx.incVals[ref][0], fx.incVals[ref][1])
+					if err != nil {
+						return nil, err
+					}
+					fx.in.Incoming[ei].Val = v
+					ref++
+				}
+				fx.in.Incoming[ei].Pred = f.Blocks[fx.incPreds[ei]]
+			}
+		}
+		if d.bool() {
+			plan := &StackPlan{Size: d.i()}
+			nslots := d.count()
+			plan.Slots = make([]StackSlot, nslots)
+			for i := range plan.Slots {
+				s := &plan.Slots[i]
+				if ai := d.i(); ai >= 0 {
+					s.Alloca = flat[ai]
+				}
+				s.Offset = d.i()
+				s.Size = d.i()
+				s.Canary = d.bool()
+				s.Vuln = d.bool()
+				s.Sealed = d.bool()
+			}
+			f.Plan = plan
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("ir: decode: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return m, nil
+}
+
+// encoder is an append-only buffer with typed put helpers.
+type encoder struct{ buf []byte }
+
+func (e *encoder) raw(p []byte) { e.buf = append(e.buf, p...) }
+func (e *encoder) b(v byte)     { e.buf = append(e.buf, v) }
+func (e *encoder) u(v uint64)   { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) i(v int64)    { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) str(s string) { e.u(uint64(len(s))); e.raw([]byte(s)) }
+func (e *encoder) bytes(p []byte) {
+	e.u(uint64(len(p)))
+	e.raw(p)
+}
+func (e *encoder) bool(v bool) {
+	if v {
+		e.b(1)
+	} else {
+		e.b(0)
+	}
+}
+
+// sortedMap emits a string map in sorted key order (deterministic).
+func (e *encoder) sortedMap(m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.u(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		e.str(m[k])
+	}
+}
+
+// decoder reads the encoder's output, latching the first error.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ir: decode: "+format, args...)
+	}
+}
+
+func (d *decoder) raw(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail("truncated (%d bytes wanted at offset %d)", n, d.off)
+		return nil
+	}
+	p := d.buf[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *decoder) b() byte {
+	p := d.raw(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *decoder) u() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) i() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads a collection length and sanity-bounds it against the
+// remaining input (every element costs at least one byte), so corrupt
+// counts fail instead of allocating gigabytes.
+func (d *decoder) count() int {
+	n := d.u()
+	if d.err == nil && n > uint64(len(d.buf)-d.off) {
+		d.fail("implausible count %d with %d bytes left", n, len(d.buf)-d.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) str() string { return string(d.raw(int(d.u()))) }
+
+func (d *decoder) bytes() []byte {
+	p := d.raw(int(d.u()))
+	if len(p) == 0 {
+		return nil
+	}
+	return append([]byte(nil), p...)
+}
+
+func (d *decoder) bool() bool { return d.b() != 0 }
+
+func (d *decoder) sortedMap() map[string]string {
+	n := d.count()
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := d.str()
+		m[k] = d.str()
+	}
+	return m
+}
+
+// valRef reads one value reference. Constants are materialized
+// immediately (third return); other kinds return (tag, payload) for the
+// caller to resolve once the referenced object exists.
+func (d *decoder) valRef(typeAt func(uint64) Type) (uint64, uint64, *Const) {
+	switch tag := uint64(d.b()); tag {
+	case vtConst:
+		t := typeAt(d.u())
+		return tag, 0, &Const{Typ: t, Val: d.i()}
+	case vtGlobal, vtParam, vtInstr:
+		return tag, d.u(), nil
+	default:
+		d.fail("bad value tag %d", tag)
+		return tag, 0, nil
+	}
+}

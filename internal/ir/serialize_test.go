@@ -1,0 +1,214 @@
+package ir_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/harden"
+	"repro/internal/ir"
+	"repro/internal/irpass"
+	"repro/internal/minic"
+)
+
+// hardenedModule compiles and instruments a program that exercises the
+// codec's full surface: struct types, arrays, globals with initializers,
+// phi nodes, calls, channels, and — through the Pythia pass — stack
+// plans, canaries, sealed globals, and instruction metadata.
+func hardenedModule(t *testing.T) *ir.Module { return hardenedModuleWith(t, harden.Pythia) }
+
+func hardenedModuleWith(t *testing.T, scheme harden.Scheme) *ir.Module {
+	t.Helper()
+	mod, err := minic.Compile("ser", `
+struct point { int x; int y; };
+int scale(int v) { return v * 3; }
+int main() {
+	char buf[24];
+	struct point p;
+	fgets(buf, 24);
+	p.x = buf[0];
+	p.y = scale(p.x);
+	long acc = 0;
+	for (int i = 0; buf[i] != 0; i++) {
+		if (buf[i] > 'm') { acc = acc + p.y; } else { acc = acc + p.x; }
+	}
+	printf("acc=%d\n", acc);
+	return acc % 113;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irpass.Optimize(mod)
+	if _, err := harden.Apply(mod, scheme); err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestSerializeRoundTrip: encode → decode must reproduce the module
+// exactly (textual form) and the codec must be deterministic
+// (re-encoding the decode yields identical bytes).
+func TestSerializeRoundTrip(t *testing.T) {
+	mod := hardenedModule(t)
+	enc, err := ir.EncodeModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ir.DecodeModule(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.String() != mod.String() {
+		t.Fatal("decode does not print identically to the original")
+	}
+	enc2, err := ir.EncodeModule(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("codec is not deterministic: re-encoding the decode changed bytes")
+	}
+}
+
+// TestSerializePreservesUnprintedState covers what the textual printer
+// does NOT carry: stack plans, function attributes, and sealed globals
+// must survive the binary round trip.
+func TestSerializePreservesUnprintedState(t *testing.T) {
+	mod := hardenedModule(t)
+	enc, err := ir.EncodeModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ir.DecodeModule(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, attrs := 0, 0
+	for _, f := range mod.Defined() {
+		g := dec.Func(f.FName)
+		if g == nil {
+			t.Fatalf("decode lost @%s", f.FName)
+		}
+		if f.Plan != nil {
+			plans++
+			if g.Plan == nil {
+				t.Fatalf("@%s: stack plan lost", f.FName)
+			}
+			if g.Plan.Size != f.Plan.Size || len(g.Plan.Slots) != len(f.Plan.Slots) {
+				t.Fatalf("@%s: plan shape changed", f.FName)
+			}
+			for i, s := range f.Plan.Slots {
+				d := g.Plan.Slots[i]
+				if d.Offset != s.Offset || d.Size != s.Size || d.Canary != s.Canary || d.Vuln != s.Vuln {
+					t.Fatalf("@%s: slot %d changed: %+v vs %+v", f.FName, i, d, s)
+				}
+				if (d.Alloca == nil) != (s.Alloca == nil) {
+					t.Fatalf("@%s: slot %d alloca link lost", f.FName, i)
+				}
+			}
+		}
+		for k, v := range f.Attrs {
+			attrs++
+			if g.Attrs[k] != v {
+				t.Fatalf("@%s: attr %q lost", f.FName, k)
+			}
+		}
+	}
+	if plans == 0 {
+		t.Fatal("test module has no stack plans — not exercising the codec")
+	}
+	_ = attrs
+
+	// Sealed globals (the CPA pass's [value|PAC] pairs) are not printed
+	// either; assert the flag survives on a hand-sealed global.
+	sm := ir.NewModule("sealed")
+	sm.NewGlobal("cfg", ir.ArrayOf(ir.I64, 2), nil).Sealed = true
+	encS, err := ir.EncodeModule(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decS, err := ir.DecodeModule(encS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decS.Globals) != 1 || !decS.Globals[0].Sealed {
+		t.Fatal("global seal flag lost in the round trip")
+	}
+}
+
+// TestDecodeRejectsTruncation feeds every proper prefix of a valid
+// encoding to the decoder: none may panic, all must error.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	mod := hardenedModule(t)
+	enc, err := ir.EncodeModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 1
+	if len(enc) > 4096 {
+		step = len(enc) / 4096
+	}
+	for i := 0; i < len(enc); i += step {
+		if _, err := ir.DecodeModule(enc[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", i, len(enc))
+		}
+	}
+}
+
+// TestDecodeRejectsBadHeader covers magic and version checks.
+func TestDecodeRejectsBadHeader(t *testing.T) {
+	mod := hardenedModule(t)
+	enc, err := ir.EncodeModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff
+	if _, err := ir.DecodeModule(bad); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+	bad = append([]byte(nil), enc...)
+	bad[4] ^= 0xff // inside the version field
+	if _, err := ir.DecodeModule(bad); err == nil {
+		t.Fatal("unknown version must be rejected")
+	}
+	if _, err := ir.DecodeModule(nil); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}
+
+// TestCloneIsDeepAndIndependent: the clone prints and encodes
+// identically, and mutating it leaves the original untouched.
+func TestCloneIsDeepAndIndependent(t *testing.T) {
+	mod := hardenedModule(t)
+	want := mod.String()
+	cl := mod.Clone()
+	if cl.String() != want {
+		t.Fatal("clone does not print identically")
+	}
+	encA, err := ir.EncodeModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encB, err := ir.EncodeModule(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encA, encB) {
+		t.Fatal("clone encodes differently")
+	}
+	// Mutate the clone structurally: rename an instruction and flip a
+	// global's first init byte.
+	for _, f := range cl.Defined() {
+		f.Blocks[0].Instrs[0].Nam = f.Blocks[0].Instrs[0].Nam + "_mut"
+		break
+	}
+	for _, g := range cl.Globals {
+		if len(g.Init) > 0 {
+			g.Init[0] ^= 0xff
+			break
+		}
+	}
+	if mod.String() != want {
+		t.Fatal("mutating the clone changed the original")
+	}
+}

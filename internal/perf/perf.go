@@ -8,7 +8,12 @@
 // shapes. Absolute time is out of scope.
 package perf
 
-import "repro/internal/ir"
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
 
 // Model holds the cost parameters. Defaults approximate an M1-class
 // core at 3.2 GHz. A hardening "instruction" in the IR stands for the
@@ -303,10 +308,16 @@ func instrWeight(op ir.Op) int64 {
 	return 1
 }
 
-// Overhead returns (instrumented/base - 1) as a percentage.
-func Overhead(base, instrumented float64) float64 {
-	if base == 0 {
-		return 0
+// Overhead returns (instrumented/base - 1) as a percentage. A
+// non-positive or non-finite base makes the ratio meaningless — the
+// old behavior silently returned 0%, which let a broken baseline
+// masquerade as "no overhead" — so it is reported as an error instead.
+func Overhead(base, instrumented float64) (float64, error) {
+	if base <= 0 || math.IsNaN(base) || math.IsInf(base, 0) {
+		return 0, fmt.Errorf("perf: overhead undefined for baseline %v cycles", base)
 	}
-	return (instrumented/base - 1) * 100
+	if math.IsNaN(instrumented) || math.IsInf(instrumented, 0) {
+		return 0, fmt.Errorf("perf: overhead undefined for instrumented %v cycles", instrumented)
+	}
+	return (instrumented/base - 1) * 100, nil
 }

@@ -1,6 +1,7 @@
 package perf_test
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/ir"
@@ -120,11 +121,20 @@ func TestBinarySizeWeighting(t *testing.T) {
 }
 
 func TestOverheadHelper(t *testing.T) {
-	if perf.Overhead(100, 148) != 48 {
-		t.Fatalf("overhead = %v", perf.Overhead(100, 148))
+	ov, err := perf.Overhead(100, 148)
+	if err != nil || ov != 48 {
+		t.Fatalf("overhead = %v, %v", ov, err)
 	}
-	if perf.Overhead(0, 5) != 0 {
-		t.Fatal("zero base must not divide by zero")
+	for _, base := range []float64{0, -3, math.NaN(), math.Inf(1)} {
+		if _, err := perf.Overhead(base, 5); err == nil {
+			t.Errorf("base %v must be rejected, not reported as 0%% overhead", base)
+		}
+	}
+	if _, err := perf.Overhead(100, math.NaN()); err == nil {
+		t.Error("NaN instrumented cycles must be rejected")
+	}
+	if _, err := perf.Overhead(100, math.Inf(1)); err == nil {
+		t.Error("infinite instrumented cycles must be rejected")
 	}
 }
 

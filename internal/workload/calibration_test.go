@@ -39,10 +39,18 @@ func TestCalibrationBands(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		cpaOv, err := cpa.Overhead(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pyOv, err := py.Overhead(base)
+		if err != nil {
+			t.Fatal(err)
+		}
 		r := row{
 			name:         p.Name,
-			cpa:          cpa.Overhead(base),
-			pythia:       py.Overhead(base),
+			cpa:          cpaOv,
+			pythia:       pyOv,
 			cyclesBase:   base.Counters.Cycles,
 			staticCPA:    cpa.Protection.PAInstrs(),
 			staticPythia: py.Protection.PAInstrs(),

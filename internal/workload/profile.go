@@ -14,6 +14,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 )
 
 // Profile describes one benchmark's generated structure.
@@ -222,15 +223,55 @@ func NginxProfile() Profile {
 	}
 }
 
+// canonical renders every generator knob as an explicit key=value list.
+// This is the fingerprint's preimage, so it must enumerate each field
+// by hand: deriving it from fmt (%#v and friends) would silently embed
+// pointer addresses or Go-version-dependent formatting the moment
+// Profile gains a non-scalar field — unacceptable for a key that now
+// persists across processes in the artifact store. The reflection guard
+// in profile_test.go fails if a field is added without extending this
+// list.
+func (p *Profile) canonical() string {
+	var b strings.Builder
+	f := func(name string, v any) { fmt.Fprintf(&b, "%s=%v;", name, v) }
+	f("Name", p.Name)
+	f("Lang", p.Lang)
+	f("Workers", p.Workers)
+	f("HotRounds", p.HotRounds)
+	f("OuterTrip", p.OuterTrip)
+	f("InnerTrip", p.InnerTrip)
+	f("MediumTrip", p.MediumTrip)
+	f("TaintedScalarBr", p.TaintedScalarBr)
+	f("TaintedPtrBr", p.TaintedPtrBr)
+	f("TaintedStructBr", p.TaintedStructBr)
+	f("UntaintedBr", p.UntaintedBr)
+	f("DeepChainBr", p.DeepChainBr)
+	f("ICInLoop", p.ICInLoop)
+	f("HeapVulnBufs", p.HeapVulnBufs)
+	f("HeapColdBufs", p.HeapColdBufs)
+	f("PrintICs", p.PrintICs)
+	f("CopyICs", p.CopyICs)
+	f("ScanICs", p.ScanICs)
+	f("GetICs", p.GetICs)
+	f("PutICs", p.PutICs)
+	f("MapICs", p.MapICs)
+	f("ColdBranches", p.ColdBranches)
+	f("ColdHostileBr", p.ColdHostileBr)
+	f("ColdDeepBr", p.ColdDeepBr)
+	f("DFIFriendly", p.DFIFriendly)
+	f("Wrappers", p.Wrappers)
+	return b.String()
+}
+
 // Fingerprint returns a stable digest of every generator knob. Two
 // profiles share a fingerprint iff they generate the same program, so
-// the digest is a sound memoization key for builds, runs, and analyses.
+// the digest is a sound memoization key for builds, runs, and analyses
+// — including the persistent cross-process artifact cache.
 func (p *Profile) Fingerprint() string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", *p)))
+	sum := sha256.Sum256([]byte(p.canonical()))
 	return hex.EncodeToString(sum[:12])
 }
 
-// ProfileByName returns the named profile, or nil.
 // ProfileByName returns a copy of the named profile, or nil. Callers
 // that fuzz or re-run a single benchmark (pythia-fuzz -profile) resolve
 // it here.

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFingerprintCoversEveryField is the reflection guard for the
+// canonical fingerprint encoding: it mutates each Profile field in turn
+// and demands a fingerprint change. Adding a field to Profile without
+// extending canonical() fails here, because the mutated field would not
+// reach the digest.
+func TestFingerprintCoversEveryField(t *testing.T) {
+	base := NginxProfile() // exercises the bool fields' true values too
+	baseFP := base.Fingerprint()
+	rt := reflect.TypeOf(base)
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		mut := base
+		fv := reflect.ValueOf(&mut).Elem().Field(i)
+		switch fv.Kind() {
+		case reflect.String:
+			fv.SetString(fv.String() + "~")
+		case reflect.Int:
+			fv.SetInt(fv.Int() + 1)
+		case reflect.Bool:
+			fv.SetBool(!fv.Bool())
+		default:
+			t.Fatalf("field %s has kind %v: extend this test and canonical()", f.Name, fv.Kind())
+		}
+		if mut.Fingerprint() == baseFP {
+			t.Errorf("mutating %s did not change the fingerprint — canonical() is missing it", f.Name)
+		}
+	}
+}
+
+// TestFingerprintStableAcrossCopies pins the digest down as a pure
+// function of the knob values.
+func TestFingerprintStableAcrossCopies(t *testing.T) {
+	a := NginxProfile()
+	b := NginxProfile()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical profiles must share a fingerprint")
+	}
+	c := a
+	c.HotRounds++
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("distinct profiles must not collide")
+	}
+}
+
+// TestSourceMemoized checks the generate stage returns the identical
+// program for the same fingerprint.
+func TestSourceMemoized(t *testing.T) {
+	p := NginxProfile()
+	if Source(&p) != Source(&p) {
+		t.Fatal("memoized generation must be deterministic")
+	}
+	if Source(&p) != Generate(&p) {
+		t.Fatal("memoized source must match a fresh generation")
+	}
+}
+
+// TestSuiteProfilesRunClean builds and runs generated-suite profiles
+// under every headline scheme: the sweep is only useful if each grid
+// point is a valid, fault-free program everywhere.
+func TestSuiteProfilesRunClean(t *testing.T) {
+	spec := DefaultSuite()
+	ps := spec.Profiles()
+	if len(ps) != spec.PtrLevels*spec.DepthLevels*spec.ChannelLevels {
+		t.Fatalf("grid size %d, want %d", len(ps), spec.PtrLevels*spec.DepthLevels*spec.ChannelLevels)
+	}
+	seen := make(map[string]bool)
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Fatalf("duplicate suite profile name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if testing.Short() {
+		// The grid corners cover every axis extreme.
+		ps = []Profile{ps[0], ps[len(ps)-1]}
+	}
+	for _, p := range ps {
+		p := p
+		for _, s := range core.Schemes {
+			r, err := Run(&p, s)
+			if err != nil {
+				t.Fatalf("%s under %v: %v", p.Name, s, err)
+			}
+			if r.Fault != nil {
+				t.Fatalf("%s under %v faulted: %v", p.Name, s, r.Fault)
+			}
+		}
+	}
+}
+
+// TestParseSuite covers the axis-spec parser.
+func TestParseSuite(t *testing.T) {
+	spec, err := ParseSuite("3x2x3")
+	if err != nil || spec != (SuiteSpec{3, 2, 3}) {
+		t.Fatalf("ParseSuite(3x2x3) = %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"", "3x2", "0x2x3", "axbxc", "10x10x10"} {
+		if _, err := ParseSuite(bad); err == nil {
+			t.Errorf("ParseSuite(%q) must fail", bad)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -27,14 +28,60 @@ type RunResult struct {
 }
 
 // Overhead returns this run's cycle overhead relative to base, percent.
-func (r *RunResult) Overhead(base *RunResult) float64 {
-	return perf.Overhead(base.Counters.Cycles, r.Counters.Cycles)
+// A degenerate baseline (zero, negative, or non-finite cycles) is an
+// error: it means the baseline run itself is broken, and reporting 0%
+// would hide that.
+func (r *RunResult) Overhead(base *RunResult) (float64, error) {
+	ov, err := perf.Overhead(base.Counters.Cycles, r.Counters.Cycles)
+	if err != nil {
+		return 0, fmt.Errorf("workload %s [%v vs %v]: %w", r.Profile.Name, r.Scheme, base.Scheme, err)
+	}
+	return ov, nil
 }
 
-// Build generates, compiles, and protects the profile's program.
+// The generate stage is pure in the profile's knobs, so its output is
+// memoized process-wide by fingerprint. Generation is cheap next to
+// compilation, but the same profile is generated for every scheme and
+// every repeat; caching it makes the fingerprint the single source of
+// truth for "same program".
+var (
+	genMu    sync.Mutex
+	genCache = make(map[string]string)
+)
+
+// Source returns the profile's generated program, memoized by
+// fingerprint.
+func Source(p *Profile) string {
+	fp := p.Fingerprint()
+	genMu.Lock()
+	src, ok := genCache[fp]
+	genMu.Unlock()
+	if ok {
+		if reg := obs.CurrentMetrics(); reg != nil {
+			reg.Add("pipeline.generate.hits", 1)
+		}
+		return src
+	}
+	if reg := obs.CurrentMetrics(); reg != nil {
+		reg.Add("pipeline.generate.misses", 1)
+	}
+	src = Generate(p)
+	genMu.Lock()
+	genCache[fp] = src
+	genMu.Unlock()
+	return src
+}
+
+// Build generates, compiles, and protects the profile's program through
+// the process-wide pipeline.
 func Build(p *Profile, scheme core.Scheme) (*core.Program, error) {
-	src := Generate(p)
-	prog, err := core.Build(p.Name, src, scheme)
+	return BuildWith(core.DefaultPipeline(), p, scheme)
+}
+
+// BuildWith is Build through an explicit pipeline — used by the bench
+// runner so each Config gets its own (optionally disk-backed) caches.
+func BuildWith(pl *core.Pipeline, p *Profile, scheme core.Scheme) (*core.Program, error) {
+	prog, err := pl.Build(p.Name, Source(p), scheme)
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
 	}
@@ -42,11 +89,16 @@ func Build(p *Profile, scheme core.Scheme) (*core.Program, error) {
 }
 
 // Run builds and executes the profile under the scheme with its benign
-// input, returning the measurements. A fault is a harness bug: the
-// generated programs must run clean under every scheme.
+// input, returning the measurements.
 func Run(p *Profile, scheme core.Scheme) (*RunResult, error) {
+	return RunWith(core.DefaultPipeline(), p, scheme)
+}
+
+// RunWith is Run through an explicit pipeline. A fault is a harness
+// bug: the generated programs must run clean under every scheme.
+func RunWith(pl *core.Pipeline, p *Profile, scheme core.Scheme) (*RunResult, error) {
 	defer obs.TraceSpan(fmt.Sprintf("workload %s [%v]", p.Name, scheme), "bench")()
-	prog, err := Build(p, scheme)
+	prog, err := BuildWith(pl, p, scheme)
 	if err != nil {
 		return nil, err
 	}

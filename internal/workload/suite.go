@@ -1,0 +1,104 @@
+package workload
+
+import "fmt"
+
+// SuiteSpec parameterizes the generated benchmark suite: a full
+// factorial sweep over the three structural axes that drive the
+// defenses' costs. The 16 fixed profiles pin down the paper's
+// benchmarks; the generated suite explores the space *between* them —
+// how overhead and protection scale as each axis moves on its own.
+//
+//	pointer density — how much of the tainted branch population is
+//	  reached through non-const indexing and struct fields (the
+//	  DFI-hostile share; drives slice width and relayout benefit)
+//	branch depth    — how far branches sit behind call chains and cold
+//	  padding (drives Pythia's interprocedural-horizon misses)
+//	channel mix     — how many input-channel calls run inside the hot
+//	  loop and how wide the cold-site census is (drives canary
+//	  re-randomization cost, the paper's main overhead driver)
+type SuiteSpec struct {
+	PtrLevels     int // pointer-density steps, ≥1
+	DepthLevels   int // branch-depth steps, ≥1
+	ChannelLevels int // channel-mix steps, ≥1
+}
+
+// DefaultSuite is the 3x2x3 = 18-profile sweep.
+func DefaultSuite() SuiteSpec {
+	return SuiteSpec{PtrLevels: 3, DepthLevels: 2, ChannelLevels: 3}
+}
+
+// ParseSuite parses a "PxDxC" axis specification such as "3x2x3".
+func ParseSuite(s string) (SuiteSpec, error) {
+	var spec SuiteSpec
+	if n, err := fmt.Sscanf(s, "%dx%dx%d", &spec.PtrLevels, &spec.DepthLevels, &spec.ChannelLevels); n != 3 || err != nil {
+		return SuiteSpec{}, fmt.Errorf("workload: suite spec %q: want PxDxC, e.g. 3x2x3", s)
+	}
+	if spec.PtrLevels < 1 || spec.DepthLevels < 1 || spec.ChannelLevels < 1 {
+		return SuiteSpec{}, fmt.Errorf("workload: suite spec %q: every axis needs at least one level", s)
+	}
+	if total := spec.PtrLevels * spec.DepthLevels * spec.ChannelLevels; total > 96 {
+		return SuiteSpec{}, fmt.Errorf("workload: suite spec %q: %d profiles exceeds the 96-profile cap", s, total)
+	}
+	return spec, nil
+}
+
+// Profiles returns the sweep's profile grid in deterministic order
+// (pointer density outermost, channel mix innermost). Every profile is
+// sized to run in a fraction of a fixed benchmark's time so a full
+// sweep stays interactive.
+func (s SuiteSpec) Profiles() []Profile {
+	var out []Profile
+	for p := 0; p < s.PtrLevels; p++ {
+		for d := 0; d < s.DepthLevels; d++ {
+			for c := 0; c < s.ChannelLevels; c++ {
+				out = append(out, suiteProfile(p, d, c))
+			}
+		}
+	}
+	return out
+}
+
+// suiteProfile derives the profile at one grid point. Axis values map
+// monotonically onto the generator knobs; level 0 of every axis is a
+// small, scalar-only, channel-light program.
+func suiteProfile(ptr, depth, chans int) Profile {
+	p := Profile{
+		Name: fmt.Sprintf("gen.p%d.d%d.c%d", ptr, depth, chans),
+		Lang: "c",
+
+		Workers: 2, HotRounds: 10, OuterTrip: 12, InnerTrip: 16, MediumTrip: 20,
+
+		// Baseline branch population; the axes add on top.
+		TaintedScalarBr: 2, UntaintedBr: 5,
+		HeapColdBufs: 1,
+		PrintICs:     6, CopyICs: 8, ScanICs: 1, GetICs: 1, PutICs: 1,
+		ColdBranches: 20,
+	}
+	// Pointer density: shift the tainted population from scalars toward
+	// non-const indexing and struct fields, and give the heavier levels
+	// the struct-heavy C++ shape plus an extra vulnerable heap buffer.
+	p.TaintedPtrBr = ptr
+	p.TaintedStructBr = ptr / 2
+	if ptr >= 2 {
+		p.Lang = "c++"
+		p.HeapVulnBufs = 1
+	}
+	// Branch depth: push branches behind deep call chains and widen the
+	// cold padding that carries the deep/hostile cold variants.
+	p.DeepChainBr = depth
+	p.ColdDeepBr = 2 * depth
+	p.ColdHostileBr = depth
+	p.ColdBranches += 15 * depth
+	p.UntaintedBr += 2 * depth
+	// Channel mix: hot-loop channel calls (the overhead driver) plus a
+	// wider cold-site census; the heaviest level adds ngx_-style
+	// wrappers and map channels.
+	p.ICInLoop = chans
+	p.PrintICs += 10 * chans
+	p.CopyICs += 14 * chans
+	if chans >= 2 {
+		p.Wrappers = true
+		p.MapICs = 1
+	}
+	return p
+}

@@ -11,6 +11,7 @@
 //	pythia-attack -json                 # Outcome matrix as one JSON document
 //	pythia-attack -forensics            # flight-recorder window under each detection
 //	pythia-attack -metrics m.json       # metrics registry dump ("-" = text to stderr)
+//	pythia-attack -journal j.jsonl      # causal run journal (JSONL)
 //	pythia-attack -list
 //
 // Every attacked machine runs with the fault flight recorder armed, so a
@@ -44,14 +45,16 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the outcome matrix as one JSON document")
 		forensics  = flag.Bool("forensics", false, "print the flight-recorder report under each detection")
 		metrics    = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
+		journalOut = flag.String("journal", "", "stream the causal run journal to this file as JSONL")
 	)
 	flag.Parse()
 
-	// writeMetrics dumps the registry populated during the run; called
-	// explicitly before the final exit because os.Exit skips defers.
+	// writeMetrics dumps the registry and journal populated during the
+	// run; called explicitly before the final exit because os.Exit skips
+	// defers.
 	writeMetrics := func() {}
-	if *metrics != "" {
-		if *metrics != "-" {
+	if *metrics != "" || *journalOut != "" {
+		if *metrics != "" && *metrics != "-" {
 			if f, err := os.OpenFile(*metrics, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "pythia-attack: unwritable -metrics path: %v\n", err)
 				flag.Usage()
@@ -60,18 +63,37 @@ func main() {
 				f.Close()
 			}
 		}
-		reg := obs.Default()
-		obs.Start(&obs.Session{Metrics: reg})
+		sess := &obs.Session{}
+		if *metrics != "" {
+			sess.Metrics = obs.Default()
+		}
+		if *journalOut != "" {
+			j, err := obs.OpenJournal(*journalOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pythia-attack: invalid -journal: %v\n", err)
+				flag.Usage()
+				os.Exit(2)
+			}
+			sess.Journal = j
+		}
+		obs.Start(sess)
 		path := *metrics
 		writeMetrics = func() {
 			obs.Stop()
+			if err := sess.Journal.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pythia-attack:", err)
+				os.Exit(1)
+			}
+			if sess.Metrics == nil {
+				return
+			}
 			if path == "-" {
-				reg.WriteText(os.Stderr)
+				sess.Metrics.WriteText(os.Stderr)
 				return
 			}
 			f, err := os.Create(path)
 			if err == nil {
-				err = reg.WriteJSON(f)
+				err = sess.Metrics.WriteJSON(f)
 				if cerr := f.Close(); err == nil {
 					err = cerr
 				}

@@ -11,7 +11,9 @@
 //	pythia-bench -parallel 4      # pre-warm worker count (0 = GOMAXPROCS)
 //	pythia-bench -json            # one machine-readable JSON document
 //	pythia-bench -cpuprofile cpu.out -memprofile mem.out
-//	pythia-bench -trace out.json  # Chrome trace_event timeline
+//	pythia-bench -trace out.json  # Chrome trace_event timeline (derived from the journal)
+//	pythia-bench -journal j.jsonl # causal run journal, one JSON event per line
+//	pythia-bench -coverage        # defense-coverage report (static vs exercised check sites)
 //	pythia-bench -hotsites 20     # top-N IR sites by attributed cycles
 //	pythia-bench -metrics m.json  # metrics registry dump ("-" = text to stderr)
 //	pythia-bench -cache-dir .pythia-cache  # persistent compile/harden artifacts
@@ -39,9 +41,10 @@
 // experiments pay for each pair once. Tables go to stdout; per-experiment
 // wall times and cache statistics go to stderr, keeping the table stream
 // byte-identical between sequential fresh and parallel cached runs.
-// The observability flags (-trace, -hotsites, -metrics, -serve) likewise
-// leave stdout untouched: traces and metrics go to their files, the
-// hot-site report to stderr, the server to its socket.
+// The observability flags (-trace, -journal, -coverage, -hotsites,
+// -metrics, -serve) likewise leave stdout untouched: traces, journals
+// and metrics go to their files, the hot-site and coverage reports to
+// stderr, the server to its socket.
 package main
 
 import (
@@ -135,7 +138,9 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON document instead of rendered tables")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (derived from the causal journal)")
+		journal   = flag.String("journal", "", "stream the causal run journal to this file as JSONL")
+		coverage  = flag.Bool("coverage", false, "report defense-check coverage (static vs exercised sites) to stderr")
 		hotsites  = flag.Int("hotsites", 0, "report the top-N IR sites by attributed cycles (0 = off)")
 		metrics   = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
 		repeat    = flag.Int("repeat", 1, "run the sweep N times (fresh run cache each) collecting wall-time samples")
@@ -195,10 +200,23 @@ func main() {
 	}
 
 	var sess *obs.Session
-	if *traceOut != "" || *hotsites > 0 || *metrics != "" || *savePath != "" || *serveAddr != "" {
+	if *traceOut != "" || *journal != "" || *coverage || *hotsites > 0 || *metrics != "" || *savePath != "" || *serveAddr != "" {
 		sess = &obs.Session{}
-		if *traceOut != "" {
-			sess.Trace = obs.NewTraceLog()
+		if *traceOut != "" || *journal != "" {
+			// The journal is the primary record; -trace renders a derived
+			// Chrome timeline from it at exit.
+			if *journal != "" {
+				j, err := obs.OpenJournal(*journal)
+				if err != nil {
+					usageError("invalid -journal: %v", err)
+				}
+				sess.Journal = j
+			} else {
+				sess.Journal = obs.NewJournal()
+			}
+		}
+		if *coverage {
+			sess.Coverage = obs.NewCoverageAgg()
 		}
 		if *hotsites > 0 || *serveAddr != "" {
 			sess.Sites = perf.NewSiteProf()
@@ -263,7 +281,7 @@ func main() {
 			usageError("-serve %s: %v", *serveAddr, err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "# serving observability on http://%s (/healthz /debug/vars /debug/pprof/ /hotsites /progress)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "# serving observability on http://%s (/healthz /metricz /debug/vars /debug/pprof/ /hotsites /progress /api/journal /api/spans /api/coverage)\n", srv.Addr())
 	}
 
 	if sess != nil && sess.Progress != nil {
@@ -438,23 +456,30 @@ func main() {
 	}
 
 	if sess != nil {
-		finishObs(sess, *traceOut, *metrics, *hotsites)
+		finishObs(sess, *traceOut, *journal, *metrics, *hotsites, *coverage)
 	}
 	if regressed {
 		os.Exit(1)
 	}
 }
 
-// finishObs writes the session's trace, metrics, and hot-site outputs.
-// Everything goes to files or stderr so the table stream on stdout stays
-// byte-identical with and without observability.
-func finishObs(sess *obs.Session, traceOut, metrics string, hotsites int) {
+// finishObs writes the session's trace, journal, metrics, hot-site and
+// coverage outputs. Everything goes to files or stderr so the table
+// stream on stdout stays byte-identical with and without observability.
+func finishObs(sess *obs.Session, traceOut, journal, metrics string, hotsites int, coverage bool) {
 	if traceOut != "" {
-		if err := sess.Trace.WriteFile(traceOut); err != nil {
+		if err := sess.Journal.WriteTraceFile(traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "# trace: %d events -> %s\n", sess.Trace.Len(), traceOut)
+		fmt.Fprintf(os.Stderr, "# trace: %d journal events -> %s\n", sess.Journal.Len(), traceOut)
+	}
+	if journal != "" {
+		if err := sess.Journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# journal: %d events -> %s\n", sess.Journal.Len(), journal)
 	}
 	if metrics != "" {
 		if metrics == "-" {
@@ -480,6 +505,9 @@ func finishObs(sess *obs.Session, traceOut, metrics string, hotsites int) {
 		for _, h := range top {
 			fmt.Fprintf(os.Stderr, "# %12d %14.0f  @%-20s %s\n", h.Count, h.Cycles, h.Func, h.Instr)
 		}
+	}
+	if coverage {
+		sess.Coverage.WriteReport(os.Stderr)
 	}
 }
 

@@ -13,6 +13,7 @@
 //	pythia-fuzz -out findings/                # persist reproducer+report+case per finding
 //	pythia-fuzz -known testdata/fuzz_known.txt # CI gate: fail only on NEW finding keys
 //	pythia-fuzz -export-seeds seeds/          # write the hand-written corpus as seed files
+//	pythia-fuzz -journal j.jsonl              # causal run journal (JSONL)
 //	pythia-fuzz -repro findings/bypass-dfi-blindspot-dfi/input -target dfi-blindspot -forensics
 //	pythia-fuzz -list
 //
@@ -66,6 +67,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the run summary as one JSON document")
 		verbose     = flag.Bool("v", false, "log per-round progress to stderr")
 		metrics     = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
+		journalOut  = flag.String("journal", "", "stream the causal run journal to this file as JSONL")
 		serveAddr   = flag.String("serve", "", "serve live observability HTTP endpoints on this address during the run")
 		cacheDir    = flag.String("cache-dir", "", "persist compile/harden artifacts in this directory (content-addressed, shared across processes)")
 	)
@@ -135,13 +137,21 @@ func main() {
 		}
 	}
 
-	// Observability session: metrics for -metrics/-serve, progress for
-	// the server's /progress endpoint.
+	// Observability session: metrics for -metrics/-serve, the causal
+	// journal for -journal (fuzz rounds and findings become spans and
+	// points), progress for the server's /progress endpoint.
 	writeMetrics := func() {}
-	if *metrics != "" || *serveAddr != "" {
+	if *metrics != "" || *serveAddr != "" || *journalOut != "" {
 		sess := &obs.Session{Metrics: obs.Default()}
 		if *serveAddr != "" {
 			sess.Progress = &obs.Progress{}
+		}
+		if *journalOut != "" {
+			j, err := obs.OpenJournal(*journalOut)
+			if err != nil {
+				usageError("invalid -journal: %v", err)
+			}
+			sess.Journal = j
 		}
 		obs.Start(sess)
 		defer obs.Stop()
@@ -151,27 +161,30 @@ func main() {
 				usageError("-serve %s: %v", *serveAddr, err)
 			}
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "# serving observability on http://%s (/healthz /debug/vars /progress)\n", srv.Addr())
+			fmt.Fprintf(os.Stderr, "# serving observability on http://%s (/healthz /metricz /debug/vars /progress /api/journal /api/spans)\n", srv.Addr())
 		}
-		if *metrics != "" {
-			reg := sess.Metrics
-			path := *metrics
-			writeMetrics = func() {
-				obs.Stop()
-				if path == "-" {
-					reg.WriteText(os.Stderr)
-					return
+		reg, metricsPath := sess.Metrics, *metrics
+		writeMetrics = func() {
+			obs.Stop()
+			if err := sess.Journal.Close(); err != nil {
+				fail(err)
+			}
+			if metricsPath == "" {
+				return
+			}
+			if metricsPath == "-" {
+				reg.WriteText(os.Stderr)
+				return
+			}
+			f, err := os.Create(metricsPath)
+			if err == nil {
+				err = reg.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
 				}
-				f, err := os.Create(path)
-				if err == nil {
-					err = reg.WriteJSON(f)
-					if cerr := f.Close(); err == nil {
-						err = cerr
-					}
-				}
-				if err != nil {
-					fail(err)
-				}
+			}
+			if err != nil {
+				fail(err)
 			}
 		}
 	}

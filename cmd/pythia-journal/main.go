@@ -1,0 +1,89 @@
+// Command pythia-journal validates and summarizes causal run journals
+// (the JSONL streams `-journal` writes on the other CLIs). It is the CI
+// smoke job's schema gate: every line must parse as a known-field
+// journal event, ids must be positive and unique, parents must
+// reference an earlier begun span, timestamps must be non-decreasing,
+// and ends must match opens. Spans left open are legal (a killed run
+// truncates the stream) and are reported in the stats.
+//
+// Usage:
+//
+//	pythia-journal -validate run.jsonl   # exit 1 on any schema violation
+//	pythia-journal -validate -           # read the stream from stdin
+//	pythia-journal -spans run.jsonl      # also list reconstructed spans
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		validate = flag.String("validate", "", "journal file to validate (\"-\" = stdin)")
+		spans    = flag.String("spans", "", "journal file to validate and list reconstructed spans for (\"-\" = stdin)")
+	)
+	flag.Parse()
+
+	path := *validate
+	listSpans := false
+	if *spans != "" {
+		if path != "" && path != *spans {
+			fmt.Fprintln(os.Stderr, "pythia-journal: -validate and -spans name different files")
+			os.Exit(2)
+		}
+		path, listSpans = *spans, true
+	}
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "usage: pythia-journal -validate file.jsonl | -spans file.jsonl")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var raw []byte
+	var err error
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pythia-journal:", err)
+		os.Exit(1)
+	}
+
+	st, err := obs.ValidateJournal(bytes.NewReader(raw))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pythia-journal: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d events (%d spans, %d points, %d left open)\n",
+		st.Events, st.Spans, st.Points, st.Open)
+
+	if listSpans {
+		var events []obs.JournalEvent
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		for dec.More() {
+			var ev obs.JournalEvent
+			if err := dec.Decode(&ev); err != nil {
+				fmt.Fprintln(os.Stderr, "pythia-journal:", err)
+				os.Exit(1)
+			}
+			events = append(events, ev)
+		}
+		for _, sp := range obs.SpansOf(events) {
+			open := ""
+			if sp.Open {
+				open = " (open)"
+			}
+			fmt.Printf("%6d parent=%-6d %8dus %-10s %s%s\n",
+				sp.ID, sp.Parent, sp.Dur, sp.Cat, sp.Name, open)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	pythiac -scheme cpa -stdin in.txt prog.c # feed stdin from a file
 //	pythiac -emit-ir prog.c                  # print the (instrumented) IR
 //	pythiac -analyze prog.c                  # vulnerability analysis only
+//	pythiac -journal j.jsonl prog.c          # causal run journal (JSONL)
 //	pythiac prog.ir                          # run textual IR directly
 package main
 
@@ -39,7 +40,8 @@ func main() {
 		analyze    = flag.Bool("analyze", false, "print the vulnerability analysis instead of running")
 		stdinFile  = flag.String("stdin", "", "file whose contents become the program's stdin")
 		seed       = flag.Int64("seed", 42, "machine seed (keys, canary RNG)")
-		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (derived from the causal journal)")
+		journalOut = flag.String("journal", "", "stream the causal run journal to this file as JSONL")
 		metrics    = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
 		cacheDir   = flag.String("cache-dir", "", "persist compile/harden artifacts in this directory (content-addressed, shared across processes)")
 	)
@@ -62,10 +64,22 @@ func main() {
 	// on every exit path because os.Exit skips deferred functions.
 	// (Kept as writeTrace's successor: one closure for both outputs.)
 	flushObs := func() {}
-	if *traceOut != "" || *metrics != "" {
+	if *traceOut != "" || *journalOut != "" || *metrics != "" {
 		sess := &obs.Session{}
-		if *traceOut != "" {
-			sess.Trace = obs.NewTraceLog()
+		if *traceOut != "" || *journalOut != "" {
+			// The journal is the primary record; -trace renders the derived
+			// Chrome timeline from it on exit.
+			if *journalOut != "" {
+				j, err := obs.OpenJournal(*journalOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pythiac: invalid -journal: %v\n", err)
+					flag.Usage()
+					os.Exit(2)
+				}
+				sess.Journal = j
+			} else {
+				sess.Journal = obs.NewJournal()
+			}
 		}
 		if *metrics != "" {
 			sess.Metrics = obs.Default()
@@ -74,11 +88,15 @@ func main() {
 		tracePath, metricsPath := *traceOut, *metrics
 		flushObs = func() {
 			obs.Stop()
-			if sess.Trace != nil {
-				if err := sess.Trace.WriteFile(tracePath); err != nil {
+			if tracePath != "" {
+				if err := sess.Journal.WriteTraceFile(tracePath); err != nil {
 					fmt.Fprintf(os.Stderr, "pythiac: %v\n", err)
 					os.Exit(1)
 				}
+			}
+			if err := sess.Journal.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "pythiac: %v\n", err)
+				os.Exit(1)
 			}
 			if sess.Metrics == nil {
 				return

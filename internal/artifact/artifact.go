@@ -87,16 +87,16 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	p := s.path(key)
 	raw, err := os.ReadFile(p)
 	if err != nil {
-		count("artifact.get.misses")
+		count("artifact.get.misses", key)
 		return nil, false
 	}
 	payload, err := decodeEntry(raw)
 	if err != nil {
-		count("artifact.get.corrupt")
+		count("artifact.get.corrupt", key)
 		os.Remove(p) // best effort; Put rewrites atomically anyway
 		return nil, false
 	}
-	count("artifact.get.hits")
+	count("artifact.get.hits", key)
 	return payload, true
 }
 
@@ -121,7 +121,7 @@ func (s *Store) Put(key string, payload []byte) error {
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		return fmt.Errorf("artifact: put: %w", err)
 	}
-	count("artifact.put.writes")
+	count("artifact.put.writes", key)
 	return nil
 }
 
@@ -167,9 +167,11 @@ func decodeEntry(raw []byte) ([]byte, error) {
 
 // count bumps an obs counter in the active session's registry, resolved
 // at increment time so stores built before a session starts still
-// report once one is active.
-func count(name string) {
+// report once one is active, and drops a journal point carrying the
+// entry's content digest so cache traffic is attributable per key.
+func count(name, key string) {
 	if reg := obs.CurrentMetrics(); reg != nil {
 		reg.Add(name, 1)
 	}
+	obs.Point(name, "artifact", map[string]string{"key": key})
 }

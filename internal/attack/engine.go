@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/harden"
 	"repro/internal/obs"
 	"repro/internal/vm"
 )
@@ -84,6 +85,13 @@ func RunWith(pl *core.Pipeline, c *Case, scheme core.Scheme) (*Outcome, error) {
 		}
 	}
 	out.PAUsed = ares.Counters.PAInstrs
+	// Defense-coverage telemetry: both the benign and the attacked run
+	// contribute dynamic site counts under the case's name (no-op unless
+	// a session armed a CoverageAgg).
+	if agg := obs.CurrentCoverage(); agg != nil {
+		agg.Record(c.Name, scheme.String(), harden.SiteIDs(benignProg.Mod), benignProg.Mod.NumInstrs(), bres.Coverage)
+		agg.Record(c.Name, scheme.String(), harden.SiteIDs(attackProg.Mod), attackProg.Mod.NumInstrs(), ares.Coverage)
+	}
 	return out, nil
 }
 

@@ -1,0 +1,112 @@
+package bench_test
+
+// Satellite of the causal-journal work: the staged prewarm pipeline
+// fans work out across a pool, and every worker adopts the dispatching
+// span, so even under real parallelism the journal must stay causally
+// well-formed. Runs under -race in CI (the race-full package list
+// includes bench).
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+)
+
+// TestPrewarmJournalCausality runs the staged pipeline with prewarm
+// parallelism under an armed journal and asserts the causal invariants:
+// every span's parent is a span that began before it (parent id < span
+// id), every end matches exactly one begin, and sorting events by span
+// id reproduces the causal begin order regardless of which worker ran
+// what.
+func TestPrewarmJournalCausality(t *testing.T) {
+	sess := obs.Start(&obs.Session{Journal: obs.NewJournal()})
+	defer obs.Stop()
+
+	cfg := bench.DefaultConfig()
+	cfg.Quick = true
+	cfg.Parallel = 4
+	exps := bench.All()[:1]
+	cfg.Prewarm(exps)
+	if _, err := exps[0].Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	events := sess.Journal.Events()
+	if len(events) == 0 {
+		t.Fatal("journal recorded nothing")
+	}
+
+	began := make(map[int64]bool)
+	open := make(map[int64]bool)
+	for i, ev := range events {
+		if ev.ID <= 0 {
+			t.Fatalf("event %d: non-positive id %d", i, ev.ID)
+		}
+		if ev.Parent != 0 {
+			if ev.Parent >= ev.ID {
+				t.Fatalf("event %d (%s %q): parent %d not before id %d", i, ev.Ev, ev.Name, ev.Parent, ev.ID)
+			}
+			if !began[ev.Parent] {
+				t.Fatalf("event %d (%s %q): parent %d never began", i, ev.Ev, ev.Name, ev.Parent)
+			}
+		}
+		switch ev.Ev {
+		case "begin":
+			if began[ev.ID] {
+				t.Fatalf("event %d: span %d begun twice", i, ev.ID)
+			}
+			began[ev.ID], open[ev.ID] = true, true
+		case "point":
+			if began[ev.ID] {
+				t.Fatalf("event %d: id %d reused by point", i, ev.ID)
+			}
+			began[ev.ID] = true
+		case "end":
+			if !open[ev.ID] {
+				t.Fatalf("event %d: orphan end for span %d", i, ev.ID)
+			}
+			delete(open, ev.ID)
+		default:
+			t.Fatalf("event %d: unknown ev %q", i, ev.Ev)
+		}
+	}
+	if len(open) != 0 {
+		t.Errorf("%d spans left open after a completed run: %v", len(open), open)
+	}
+
+	// Stable ordering: begin events sorted by span id must equal the
+	// begin events in stream order (ids are assigned under the journal
+	// lock at begin time, so stream order IS id order — parallelism must
+	// not be able to break that).
+	var beginIDs []int64
+	for _, ev := range events {
+		if ev.Ev == "begin" {
+			beginIDs = append(beginIDs, ev.ID)
+		}
+	}
+	if !sort.SliceIsSorted(beginIDs, func(a, b int) bool { return beginIDs[a] < beginIDs[b] }) {
+		t.Errorf("begin events out of id order: %v", beginIDs)
+	}
+
+	// The pool handoff worked: some compile/harden/run span must be
+	// parented (transitively) under the prewarm dispatch span rather
+	// than at the root.
+	rooted := 0
+	for _, ev := range events {
+		if ev.Ev == "begin" && ev.Parent != 0 {
+			rooted++
+		}
+	}
+	if rooted == 0 {
+		t.Error("no span has a parent: pool adoption is not propagating")
+	}
+
+	spans := sess.Journal.Spans()
+	for _, sp := range spans {
+		if sp.Open {
+			t.Errorf("span %d %q open after run", sp.ID, sp.Name)
+		}
+	}
+}

@@ -60,12 +60,17 @@ func forEach(workers, n int, fn func(i int)) {
 	if workers <= 0 {
 		return
 	}
+	// Worker goroutines adopt the caller's journal span, so work fanned
+	// out across the pool stays causally parented under the prewarm
+	// stage that requested it rather than orphaned per goroutine.
+	parent := obs.CurrentSpanID()
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer obs.AdoptSpan(parent)()
 			for i := range next {
 				fn(i)
 			}

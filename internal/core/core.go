@@ -87,6 +87,9 @@ func Protect(mod *ir.Module, scheme Scheme) (*Protection, error) {
 		if err != nil {
 			return nil, err
 		}
+		// DFI's SETDEF/CHKDEF checks get the same stable site ids the
+		// harden passes assign, so coverage telemetry spans all schemes.
+		harden.AssignSites(mod)
 		return &Protection{Scheme: scheme, DFI: r}, nil
 	}
 	r, err := harden.Apply(mod, scheme)

@@ -42,8 +42,10 @@ import (
 // PipelineVersion names the pipeline's artifact schema. It is folded
 // into every cache key together with ir.SerialVersion, so changing
 // either invalidates persisted entries cleanly (stale keys are simply
-// never looked up again).
-const PipelineVersion = "pythia-pipeline-v1"
+// never looked up again). v2: hardened modules carry stable check-site
+// ids in instruction Meta (harden.AssignSites), so v1 artifacts —
+// valid IR but without site identity — must not be served.
+const PipelineVersion = "pythia-pipeline-v2"
 
 // Pipeline memoizes the compile and harden stages. The zero value is
 // not usable; construct with NewPipeline or OpenPipeline.
@@ -107,11 +109,13 @@ var defaultPipeline = NewPipeline()
 func DefaultPipeline() *Pipeline { return defaultPipeline }
 
 // count bumps a pipeline obs counter, resolving the active registry at
-// increment time.
-func count(name string) {
+// increment time, and drops a journal point under the requesting span
+// so warm hits stay attributable to the request that made them.
+func count(name string, attrs map[string]string) {
 	if reg := obs.CurrentMetrics(); reg != nil {
 		reg.Add(name, 1)
 	}
+	obs.Point(name, "pipeline", attrs)
 }
 
 // compileKey derives the compile stage's cache key.
@@ -138,21 +142,21 @@ func (pl *Pipeline) compile(name, src string) *compileEntry {
 	}
 	pl.mu.Unlock()
 	if ok {
-		count("pipeline.compile.hits")
+		count("pipeline.compile.hits", map[string]string{"name": name})
 	}
 	e.once.Do(func() {
 		if pl.store != nil {
 			if enc, ok := pl.store.Get(key); ok {
 				mod, err := ir.DecodeModule(enc)
 				if err == nil {
-					count("pipeline.compile.disk_hits")
+					count("pipeline.compile.disk_hits", map[string]string{"name": name, "key": key})
 					e.mod, e.enc, e.digest = mod, enc, artifact.Key(string(enc))
 					return
 				}
 				// Undecodable entry: fall through and recompile.
 			}
 		}
-		count("pipeline.compile.misses")
+		count("pipeline.compile.misses", map[string]string{"name": name})
 		mod, err := CompileC(name, src)
 		if err != nil {
 			e.err = err
@@ -207,20 +211,20 @@ func (pl *Pipeline) harden(name string, ce *compileEntry, scheme Scheme) *harden
 	}
 	pl.mu.Unlock()
 	if ok {
-		count("pipeline.harden.hits")
+		count("pipeline.harden.hits", map[string]string{"name": name, "scheme": scheme.String()})
 	}
 	e.once.Do(func() {
 		if pl.store != nil {
 			if raw, ok := pl.store.Get(key); ok {
 				enc, prot, err := decodeHardened(raw)
 				if err == nil {
-					count("pipeline.harden.disk_hits")
+					count("pipeline.harden.disk_hits", map[string]string{"name": name, "scheme": scheme.String(), "key": key})
 					e.enc, e.prot = enc, prot
 					return
 				}
 			}
 		}
-		count("pipeline.harden.misses")
+		count("pipeline.harden.misses", map[string]string{"name": name, "scheme": scheme.String()})
 		mod := ce.mod.Clone()
 		prot, err := Protect(mod, scheme)
 		if err != nil {

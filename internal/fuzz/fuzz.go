@@ -215,6 +215,7 @@ func (f *fuzzer) done() bool {
 func (f *fuzzer) round(jobs []job) error {
 	f.rounds++
 	id := fmt.Sprintf("round-%d", f.rounds)
+	defer obs.TraceSpan(id, "fuzz")()
 	if f.progress != nil {
 		f.progress.StartExperiment(id, 1)
 	}
@@ -224,9 +225,11 @@ func (f *fuzzer) round(jobs []job) error {
 	errs := make([]error, len(jobs))
 	feed := make(chan int)
 	done := make(chan struct{})
+	parent := obs.CurrentSpanID()
 	for _, w := range f.workers {
 		w := w
 		go func() {
+			defer obs.AdoptSpan(parent)()
 			for i := range feed {
 				results[i], errs[i] = w.eval(&f.states[jobs[i].ti].target, jobs[i].input)
 			}
@@ -328,6 +331,9 @@ func (f *fuzzer) fold(j job, out *evalOut) error {
 		if f.metrics != nil {
 			f.metrics.Add("fuzz.findings."+class, 1)
 		}
+		obs.Point("fuzz.finding", "fuzz", map[string]string{
+			"key": key, "class": class, "site": fd.Site,
+		})
 		f.logf("NEW %s (exec %d, input %d bytes -> minimized %d)",
 			key, f.execs, len(j.input), len(fd.Input))
 	}

@@ -43,6 +43,10 @@ type Finding struct {
 	// Forensics is the rendered flight-recorder report of the replayed
 	// detecting (or crashing) run, when one exists.
 	Forensics string `json:"forensics,omitempty"`
+	// Site is the detecting check's stable site id (harden.AssignSites)
+	// from the replayed run's fault, when known — the join key into the
+	// defense-coverage report's per-site rows.
+	Site string `json:"site,omitempty"`
 
 	benign string
 	src    string
@@ -108,15 +112,16 @@ func (f *fuzzer) triage(st *tstate, si int, class string, input []byte, _ *evalO
 	for i := range schemes {
 		fd.Verdicts[i] = fin.verdicts[i].String()
 	}
-	fd.Forensics = forensicsFor(t, fin)
+	fd.Forensics, fd.Site = forensicsFor(t, fin)
 	return fd, nil
 }
 
 // forensicsFor replays the most informative run with the flight
 // recorder armed: the first scheme that detects the minimized input
 // (for a bypass, the defense that works where the finding's scheme
-// fails), else the first that crashes.
-func forensicsFor(t *Target, fin *evalOut) string {
+// fails), else the first that crashes. The second return is the
+// detecting check's stable site id, when the fault carries one.
+func forensicsFor(t *Target, fin *evalOut) (string, string) {
 	pick := -1
 	for i := 1; i < len(schemes); i++ {
 		if v := fin.verdicts[i]; !v.hang && v.v == attack.VerdictDetected {
@@ -133,16 +138,16 @@ func forensicsFor(t *Target, fin *evalOut) string {
 		}
 	}
 	if pick < 0 {
-		return ""
+		return "", ""
 	}
 	res, err := replay(t, schemes[pick], fin.input)
 	if err != nil || res.Fault == nil || res.Fault.Forensics == nil {
-		return ""
+		return "", ""
 	}
 	res.Fault.Forensics.Scheme = schemes[pick].String()
 	var b strings.Builder
 	res.Fault.Forensics.Render(&b, "  ")
-	return b.String()
+	return b.String(), res.Fault.Forensics.Site
 }
 
 // Report renders the finding as a human-readable triage block.
@@ -156,6 +161,9 @@ func (fd *Finding) Report() string {
 		fmt.Fprintf(&b, " %v=%s", s, fd.Verdicts[i])
 	}
 	b.WriteByte('\n')
+	if fd.Site != "" {
+		fmt.Fprintf(&b, "site      %s\n", fd.Site)
+	}
 	if fd.Forensics != "" {
 		b.WriteString("forensics of the detecting run:\n")
 		b.WriteString(fd.Forensics)

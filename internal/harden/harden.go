@@ -104,6 +104,7 @@ func Apply(mod *ir.Module, scheme Scheme) (*Report, error) {
 	for _, f := range mod.Defined() {
 		f.Renumber()
 	}
+	AssignSites(mod)
 	if err := ir.Verify(mod); err != nil {
 		return nil, fmt.Errorf("harden: %v produced invalid IR: %w", scheme, err)
 	}

@@ -1,0 +1,54 @@
+package harden
+
+// Stable check-site identity. Every hardening-inserted instruction (PA
+// sign/auth, seal/check, canary store/check, DFI def/use) gets a
+// deterministic site id recorded in its Meta, so dynamic coverage
+// counts survive the IR codec, the artifact store, and module clones —
+// the id travels with the instruction wherever the pipeline ships it.
+
+import (
+	"strconv"
+
+	"repro/internal/ir"
+)
+
+// SiteMetaKey is the Meta key carrying a check's site id.
+const SiteMetaKey = "site"
+
+// AssignSites walks mod's defined functions in order and stamps every
+// hardening instruction with a stable site id of the form
+// "@func#N:op", where N is the check's ordinal within its function.
+// Idempotent for an unchanged module (the walk order is the module's
+// canonical block order). Returns the number of sites assigned.
+func AssignSites(mod *ir.Module) int {
+	n := 0
+	for _, f := range mod.Defined() {
+		i := 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.Op.IsHardening() {
+					continue
+				}
+				in.SetMeta(SiteMetaKey, "@"+f.FName+"#"+strconv.Itoa(i)+":"+in.Op.String())
+				i++
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SiteIDs returns every assigned site id in mod, in assignment order.
+func SiteIDs(mod *ir.Module) []string {
+	var out []string
+	for _, f := range mod.Defined() {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if id := in.GetMeta(SiteMetaKey); id != "" {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package harden_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harden"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// sitesSrc takes attacker input, so the vulnerability analysis marks
+// main and the passes actually insert checks.
+const sitesSrc = `
+void pin(long *x) { }
+int main() {
+	char buf[16];
+	long gate;
+	pin(&gate);
+	gate = 5;
+	fgets(buf, 16);
+	if (gate == 5) { return 1; }
+	return 0;
+}`
+
+// TestAssignSites: Apply stamps every hardening instruction with a
+// stable "@func#N:op" site id, ids are unique, and they survive a deep
+// clone and a codec round-trip (the property the pipeline's cached
+// artifacts depend on).
+func TestAssignSites(t *testing.T) {
+	mod, err := minic.Compile("sites", sitesSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := harden.Apply(mod, harden.Pythia); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := harden.SiteIDs(mod)
+	if len(ids) == 0 {
+		t.Fatal("no site ids assigned under pythia")
+	}
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate site id %s", id)
+		}
+		seen[id] = true
+		if !strings.HasPrefix(id, "@") || !strings.Contains(id, "#") || !strings.Contains(id, ":") {
+			t.Errorf("malformed site id %q", id)
+		}
+	}
+
+	// Every hardening instruction has an id; no non-hardening one does.
+	for _, f := range mod.Defined() {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				got := in.GetMeta(harden.SiteMetaKey)
+				if in.Op.IsHardening() && got == "" {
+					t.Errorf("@%s: hardening %v without site id", f.FName, in.Op)
+				}
+				if !in.Op.IsHardening() && got != "" {
+					t.Errorf("@%s: non-hardening %v with site id %s", f.FName, in.Op, got)
+				}
+			}
+		}
+	}
+
+	// Clone preserves ids.
+	if cloned := harden.SiteIDs(mod.Clone()); len(cloned) != len(ids) {
+		t.Errorf("clone dropped site ids: %d != %d", len(cloned), len(ids))
+	}
+
+	// Codec round-trip preserves ids — cached pipeline artifacts are the
+	// decoded form.
+	enc, err := ir.EncodeModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ir.DecodeModule(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decIDs := harden.SiteIDs(dec)
+	if len(decIDs) != len(ids) {
+		t.Fatalf("codec dropped site ids: %d != %d", len(decIDs), len(ids))
+	}
+	for i := range ids {
+		if decIDs[i] != ids[i] {
+			t.Errorf("site id %d changed across codec: %s != %s", i, decIDs[i], ids[i])
+		}
+	}
+}
+
+// TestAssignSitesIdempotent: re-running AssignSites on an already
+// stamped module reassigns the identical ids (stable across repeated
+// pipeline stages).
+func TestAssignSitesIdempotent(t *testing.T) {
+	mod, err := minic.Compile("sites", sitesSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := harden.Apply(mod, harden.CPA); err != nil {
+		t.Fatal(err)
+	}
+	before := harden.SiteIDs(mod)
+	if len(before) == 0 {
+		t.Fatal("no site ids assigned under cpa")
+	}
+	harden.AssignSites(mod)
+	after := harden.SiteIDs(mod)
+	if len(before) != len(after) {
+		t.Fatalf("site count changed: %d != %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("site %d changed: %s != %s", i, before[i], after[i])
+		}
+	}
+}

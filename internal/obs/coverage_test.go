@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCoverageAggRows: static inventories union across runs, dynamic
+// counts accumulate, never-executed sites are listed sorted, and rows
+// come out ordered by profile then scheme.
+func TestCoverageAggRows(t *testing.T) {
+	a := NewCoverageAgg()
+	a.Record("p1", "pythia", []string{"@f#0:pa.sign", "@f#1:canary.check"}, 100,
+		map[string]SiteCount{"@f#0:pa.sign": {Execs: 3}})
+	a.Record("p1", "pythia", []string{"@f#0:pa.sign", "@f#1:canary.check"}, 100,
+		map[string]SiteCount{"@f#0:pa.sign": {Execs: 2, Faults: 1}})
+	a.Record("p1", "cpa", []string{"@g#0:obj.seal"}, 50, nil)
+	a.Record("a-profile", "dfi", nil, 10, nil)
+
+	rows := a.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Profile != "a-profile" || rows[1].Scheme != "cpa" || rows[2].Scheme != "pythia" {
+		t.Fatalf("row order wrong: %+v", rows)
+	}
+
+	py := rows[2]
+	if py.Static != 2 || py.Executed != 1 || py.Runs != 2 || py.Faults != 1 {
+		t.Errorf("pythia row = %+v", py)
+	}
+	if len(py.Never) != 1 || py.Never[0] != "@f#1:canary.check" {
+		t.Errorf("never-executed = %v", py.Never)
+	}
+	if py.Density != 2.0 { // 2 sites / 100 instrs
+		t.Errorf("density = %v, want 2.0", py.Density)
+	}
+
+	cpa := rows[1]
+	if cpa.Executed != 0 || len(cpa.Never) != 1 {
+		t.Errorf("cpa row = %+v", cpa)
+	}
+}
+
+// TestCoverageNilSafe: a nil aggregate ignores records and reports
+// nothing — the disabled path every run takes without -coverage.
+func TestCoverageNilSafe(t *testing.T) {
+	var a *CoverageAgg
+	a.Record("p", "s", []string{"x"}, 1, nil)
+	if rows := a.Rows(); rows != nil {
+		t.Errorf("nil agg rows = %v", rows)
+	}
+}
+
+// TestCoverageWriteReport: the stderr rendering is entirely
+// "# "-prefixed (so it can interleave with bench's other stderr notes)
+// and names the first never-executed site.
+func TestCoverageWriteReport(t *testing.T) {
+	a := NewCoverageAgg()
+	a.Record("json-parse", "pythia", []string{"@f#0:pa.sign", "@f#1:pa.auth"}, 40,
+		map[string]SiteCount{"@f#0:pa.sign": {Execs: 7}})
+	var b strings.Builder
+	a.WriteReport(&b)
+	out := b.String()
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "# ") {
+			t.Errorf("unprefixed report line: %q", line)
+		}
+	}
+	for _, want := range []string{"json-parse", "pythia", "50.0%", "(first: @f#1:pa.auth)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

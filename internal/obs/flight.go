@@ -82,13 +82,17 @@ func (fl *Flight) Window() []FlightEntry {
 // address and the memory segment it lies in. Scheme is filled by
 // callers that know which defense configuration was running.
 type FaultReport struct {
-	Kind    string        `json:"kind"`
-	Func    string        `json:"func"`
-	Instr   string        `json:"instr,omitempty"`
-	Scheme  string        `json:"scheme,omitempty"`
-	Addr    string        `json:"addr,omitempty"` // hex, e.g. "0x7efffe18"
-	Segment string        `json:"segment,omitempty"`
-	Window  []FlightEntry `json:"window"`
+	Kind    string `json:"kind"`
+	Func    string `json:"func"`
+	Instr   string `json:"instr,omitempty"`
+	Scheme  string `json:"scheme,omitempty"`
+	Addr    string `json:"addr,omitempty"` // hex, e.g. "0x7efffe18"
+	Segment string `json:"segment,omitempty"`
+	// Site is the detecting check's stable site id (harden.AssignSites),
+	// when the faulting instruction carries one — the coverage-telemetry
+	// join key.
+	Site   string        `json:"site,omitempty"`
+	Window []FlightEntry `json:"window"`
 }
 
 // SetAddr records the faulting address in hex form.
@@ -107,6 +111,9 @@ func (r *FaultReport) Render(w io.Writer, indent string) {
 	fmt.Fprintln(w)
 	if r.Scheme != "" {
 		fmt.Fprintf(w, "%s  scheme: %s\n", indent, r.Scheme)
+	}
+	if r.Site != "" {
+		fmt.Fprintf(w, "%s  site: %s\n", indent, r.Site)
 	}
 	if r.Addr != "" {
 		fmt.Fprintf(w, "%s  address: %s (%s)\n", indent, r.Addr, r.Segment)

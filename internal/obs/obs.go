@@ -1,9 +1,11 @@
 // Package obs is the unified observability layer of the reproduction:
-// structured tracing (Chrome trace_event JSON), a metrics registry
-// (counters/gauges exposed via expvar and JSON/text dumps), and the
-// fault flight recorder that turns a bare vm.Fault into a forensic
-// report (function, site, last-N instruction window, faulting address
-// and segment).
+// a causal run journal (append-only span/point events with explicit
+// parent links; the Chrome trace_event timeline is a derived view),
+// a metrics registry (counters/gauges exposed via expvar and JSON/text
+// dumps), defense-coverage telemetry (which hardening check sites
+// actually executed, per profile x scheme), and the fault flight
+// recorder that turns a bare vm.Fault into a forensic report (function,
+// site, last-N instruction window, faulting address and segment).
 //
 // The layer is strictly zero-cost when disabled: nothing is active
 // unless a Session has been started (or a machine was built with an
@@ -21,6 +23,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/perf"
@@ -36,8 +39,18 @@ const DefaultFlightWindow = 16
 // Session bundles the process-wide observability configuration. Fields
 // left nil/zero disable the corresponding feature individually.
 type Session struct {
-	// Trace receives compile/harden/run/bench spans and instant events.
+	// Journal receives the causal event stream (spans with explicit
+	// parent links, plus points). When set it supersedes Trace as the
+	// span sink; the Chrome trace becomes a derived view of the journal
+	// (Journal.WriteTrace).
+	Journal *Journal
+	// Trace receives compile/harden/run/bench spans and instant events
+	// directly in Chrome trace_event form (goroutine-id lanes). Used
+	// only when Journal is nil.
 	Trace *TraceLog
+	// Coverage aggregates per-check-site execution counts across runs
+	// (pythia-bench -coverage, /api/coverage).
+	Coverage *CoverageAgg
 	// Metrics receives counters and gauges from the VM, the bench run
 	// cache, the prewarm pool, and the heap allocator.
 	Metrics *Registry
@@ -92,22 +105,87 @@ func CurrentSites() *perf.SiteProf {
 	return nil
 }
 
-func noopEnd() {}
-
-// TraceSpan opens a span on the active trace log and returns the
-// closure that ends it; with tracing disabled it returns a no-op, so
-// call sites reduce to `defer obs.TraceSpan("name", "cat")()`.
-func TraceSpan(name, cat string) func() {
-	t := ActiveTrace()
-	if t == nil {
-		return noopEnd
+// CurrentJournal returns the active session's journal, or nil.
+func CurrentJournal() *Journal {
+	if s := Current(); s != nil {
+		return s.Journal
 	}
-	return t.Span(name, cat)
+	return nil
 }
 
-// TraceInstant records an instant event on the active trace log, if any.
-func TraceInstant(name, cat string, args map[string]any) {
-	if t := ActiveTrace(); t != nil {
-		t.Instant(name, cat, args)
+// CurrentCoverage returns the active session's coverage aggregator, or
+// nil.
+func CurrentCoverage() *CoverageAgg {
+	if s := Current(); s != nil {
+		return s.Coverage
 	}
+	return nil
+}
+
+func noopEnd() {}
+
+// TraceSpan opens a span — journal-first: with a journal armed the span
+// lands in the causal journal (and the Chrome trace derives from it);
+// otherwise it falls back to the direct trace log. Disabled, it returns
+// a no-op, so call sites reduce to `defer obs.TraceSpan("name", "cat")()`.
+func TraceSpan(name, cat string) func() {
+	s := Current()
+	if s == nil {
+		return noopEnd
+	}
+	if s.Journal != nil {
+		return s.Journal.Begin(name, cat)
+	}
+	if s.Trace != nil {
+		return s.Trace.Span(name, cat)
+	}
+	return noopEnd
+}
+
+// TraceInstant records an instant event: a journal point under the
+// current span when a journal is armed, a trace_event instant otherwise.
+func TraceInstant(name, cat string, args map[string]any) {
+	s := Current()
+	if s == nil {
+		return
+	}
+	if s.Journal != nil {
+		var attrs map[string]string
+		if len(args) > 0 {
+			attrs = make(map[string]string, len(args))
+			for k, v := range args {
+				attrs[k] = fmt.Sprint(v)
+			}
+		}
+		s.Journal.Point(name, cat, attrs)
+		return
+	}
+	if s.Trace != nil {
+		s.Trace.Instant(name, cat, args)
+	}
+}
+
+// Point records a journal point under the calling goroutine's current
+// span, when a journal is armed — the artifact store and the pipeline
+// use it to attribute cache hits and misses to their requesting span.
+func Point(name, cat string, attrs map[string]string) {
+	if j := CurrentJournal(); j != nil {
+		j.Point(name, cat, attrs)
+	}
+}
+
+// CurrentSpanID returns the calling goroutine's innermost open journal
+// span id, or 0 when no journal is armed or no span is open.
+func CurrentSpanID() int64 {
+	return CurrentJournal().Current()
+}
+
+// AdoptSpan parents the calling goroutine's subsequent journal spans
+// under span id until the returned release runs. A no-op without a
+// journal — worker pools call it unconditionally.
+func AdoptSpan(id int64) func() {
+	if j := CurrentJournal(); j != nil {
+		return j.Adopt(id)
+	}
+	return noopEnd
 }

@@ -9,28 +9,36 @@ package obs
 //	/debug/vars     the expvar registry (the Default metrics registry
 //	                publishes itself there as "pythia")
 //	/debug/pprof/*  the standard Go profiling handlers
+//	/metricz        the metrics registry as aligned text — identical to
+//	                the CLIs' `-metrics -` dump
 //	/hotsites?n=N   top-N IR sites by attributed cycles (JSON)
 //	/progress       per-experiment sweep completion (JSON)
+//	/api/journal    the causal run journal's raw events (JSON)
+//	/api/spans      reconstructed journal spans with parent links (JSON)
+//	/api/coverage   defense-coverage rows per profile x scheme (JSON)
 //
 // Every handler reads shared state that the running sweep is mutating
 // concurrently; all of it goes through the owning types' locks
-// (Registry, SiteProf, Progress), so serving is race-free by
-// construction — obs/server_test.go pins that under -race.
+// (Registry, SiteProf, Progress, Journal, CoverageAgg), so serving is
+// race-free by construction — obs/server_test.go pins that under -race.
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"repro/internal/perf"
 )
 
 // NewMux builds the observability handler set over the session's
 // state. Nil session fields degrade gracefully: /hotsites serves an
-// empty list and /progress an empty snapshot.
+// empty list, /progress an empty snapshot, /api/journal, /api/spans and
+// /api/coverage empty collections, and /metricz an empty dump.
 func NewMux(sess *Session) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -43,6 +51,12 @@ func NewMux(sess *Session) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if sess != nil && sess.Metrics != nil {
+			sess.Metrics.WriteText(w)
+		}
+	})
 	mux.HandleFunc("/hotsites", func(w http.ResponseWriter, r *http.Request) {
 		n := 20
 		if q := r.URL.Query().Get("n"); q != "" {
@@ -71,38 +85,85 @@ func NewMux(sess *Session) *http.ServeMux {
 		}
 		writeJSON(w, snap)
 	})
+	mux.HandleFunc("/api/journal", func(w http.ResponseWriter, r *http.Request) {
+		events := []JournalEvent{}
+		if sess != nil && sess.Journal != nil {
+			events = sess.Journal.Events()
+		}
+		writeJSON(w, struct {
+			Events []JournalEvent `json:"events"`
+		}{events})
+	})
+	mux.HandleFunc("/api/spans", func(w http.ResponseWriter, r *http.Request) {
+		spans := []JournalSpan{}
+		if sess != nil && sess.Journal != nil {
+			spans = sess.Journal.Spans()
+		}
+		writeJSON(w, struct {
+			Spans []JournalSpan `json:"spans"`
+		}{spans})
+	})
+	mux.HandleFunc("/api/coverage", func(w http.ResponseWriter, r *http.Request) {
+		rows := []CoverageRow{}
+		if sess != nil && sess.Coverage != nil {
+			rows = sess.Coverage.Rows()
+		}
+		writeJSON(w, struct {
+			Coverage []CoverageRow `json:"coverage"`
+		}{rows})
+	})
 	return mux
 }
 
+// writeJSON marshals first, so an encode failure becomes a clean 500
+// instead of a truncated 200 body.
 func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(append(b, '\n'))
 }
+
+// shutdownTimeout bounds how long Close waits for in-flight handlers.
+const shutdownTimeout = 2 * time.Second
 
 // Server is a running observability HTTP server.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln       net.Listener
+	srv      *http.Server
+	serveErr chan error
 }
 
 // StartServer listens on addr (e.g. "127.0.0.1:0" for an ephemeral
 // port) and serves the session's observability mux in a background
 // goroutine. The returned Server reports the bound address and closes
-// on demand.
+// on demand; the background Serve error is captured and surfaced by
+// Close.
 func StartServer(addr string, sess *Session) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(sess)}}
-	go s.srv.Serve(ln)
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(sess)}, serveErr: make(chan error, 1)}
+	go func() { s.serveErr <- s.srv.Serve(ln) }()
 	return s, nil
 }
 
 // Addr returns the server's bound address (host:port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and any idle connections.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down gracefully, letting in-flight handlers
+// finish within a short timeout, and returns the first real error from
+// either the shutdown or the background Serve loop.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if serr := <-s.serveErr; serr != nil && serr != http.ErrServerClosed && err == nil {
+		err = serr
+	}
+	return err
+}

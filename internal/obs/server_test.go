@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -100,6 +101,78 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestServerJournalEndpoints: /metricz mirrors the -metrics - text
+// dump, and the /api/journal, /api/spans, /api/coverage endpoints serve
+// the session's journal and coverage state as JSON.
+func TestServerJournalEndpoints(t *testing.T) {
+	sess := &Session{
+		Metrics:  NewRegistry(),
+		Journal:  NewJournal(),
+		Coverage: NewCoverageAgg(),
+	}
+	sess.Metrics.Add("endpoint_test.counter", 7)
+	end := sess.Journal.Begin("outer", "t")
+	sess.Journal.Begin("inner", "t")()
+	sess.Journal.Point("hit", "cache", map[string]string{"key": "k1"})
+	end()
+	sess.Coverage.Record("p", "pythia", []string{"@f#0:pa.sign", "@f#1:pa.auth"}, 20,
+		map[string]SiteCount{"@f#0:pa.sign": {Execs: 4}})
+
+	ts := httptest.NewServer(NewMux(sess))
+	defer ts.Close()
+
+	// /metricz must be byte-identical to WriteText's dump.
+	var want strings.Builder
+	sess.Metrics.WriteText(&want)
+	if got := string(get(t, ts.URL, "/metricz")); got != want.String() {
+		t.Errorf("/metricz = %q, want %q", got, want.String())
+	}
+
+	var jr struct {
+		Events []JournalEvent `json:"events"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL, "/api/journal"), &jr); err != nil {
+		t.Fatalf("/api/journal does not parse: %v", err)
+	}
+	if len(jr.Events) != 5 { // outer begin, inner begin+end, point, outer end
+		t.Errorf("/api/journal has %d events, want 5", len(jr.Events))
+	}
+
+	var sr struct {
+		Spans []JournalSpan `json:"spans"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL, "/api/spans"), &sr); err != nil {
+		t.Fatalf("/api/spans does not parse: %v", err)
+	}
+	if len(sr.Spans) != 2 || sr.Spans[1].Name != "inner" || sr.Spans[1].Parent != sr.Spans[0].ID {
+		t.Errorf("/api/spans wrong content: %+v", sr.Spans)
+	}
+
+	var cr struct {
+		Coverage []CoverageRow `json:"coverage"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL, "/api/coverage"), &cr); err != nil {
+		t.Fatalf("/api/coverage does not parse: %v", err)
+	}
+	if len(cr.Coverage) != 1 || cr.Coverage[0].Static != 2 || cr.Coverage[0].Executed != 1 {
+		t.Errorf("/api/coverage wrong content: %+v", cr.Coverage)
+	}
+}
+
+// TestServerCloseIdle: Close on an idle server returns nil — the
+// background Serve loop's http.ErrServerClosed must be filtered, not
+// surfaced.
+func TestServerCloseIdle(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", &Session{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, "http://"+srv.Addr(), "/healthz")
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close() = %v, want nil", err)
+	}
+}
+
 // TestServerNilSessionFields: handlers must degrade gracefully when
 // the session has no sites or progress.
 func TestServerNilSessionFields(t *testing.T) {
@@ -119,6 +192,13 @@ func TestServerNilSessionFields(t *testing.T) {
 		t.Fatalf("/progress (nil progress) does not parse: %v", err)
 	}
 	get(t, ts.URL, "/healthz")
+	get(t, ts.URL, "/metricz")
+	for _, p := range []string{"/api/journal", "/api/spans", "/api/coverage"} {
+		var doc map[string]json.RawMessage
+		if err := json.Unmarshal(get(t, ts.URL, p), &doc); err != nil {
+			t.Fatalf("%s (nil session fields) does not parse: %v", p, err)
+		}
+	}
 }
 
 // TestServerRace hammers every read endpoint while writer goroutines

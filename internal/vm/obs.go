@@ -117,6 +117,12 @@ type obsState struct {
 	prevIn  *ir.Instr
 	prevCyc float64
 
+	// cover counts executions and fault outcomes per hardening check
+	// site; armed only when the session carries a CoverageAgg. The run
+	// exit path folds it into Result.Coverage keyed by the sites' stable
+	// Meta ids.
+	cover map[*ir.Instr]*obs.SiteCount
+
 	// decodedCalls/refCalls count engine routing decisions.
 	decodedCalls, refCalls int64
 
@@ -161,6 +167,12 @@ func newObsState(cfg Config) *obsState {
 			st.local = make(map[*ir.Instr]*siteAccum)
 		}
 	}
+	if s != nil && s.Coverage != nil {
+		if st == nil {
+			st = &obsState{}
+		}
+		st.cover = make(map[*ir.Instr]*obs.SiteCount)
+	}
 	return st
 }
 
@@ -173,6 +185,14 @@ func (m *Machine) obsTick(f *ir.Func, in *ir.Instr) {
 	}
 	if o.hist != nil {
 		o.hist[in.Op]++
+	}
+	if o.cover != nil && in.Op.IsHardening() {
+		c, ok := o.cover[in]
+		if !ok {
+			c = &obs.SiteCount{}
+			o.cover[in] = c
+		}
+		c.Execs++
 	}
 	if o.local != nil {
 		cyc := m.Meter.C.Cycles
@@ -189,8 +209,11 @@ func (m *Machine) obsTick(f *ir.Func, in *ir.Instr) {
 	}
 }
 
-// obsForensics builds the flight-recorder report for a fault.
-func (m *Machine) obsForensics(flt *Fault) *obs.FaultReport {
+// obsForensics builds the flight-recorder report for a fault. in is the
+// faulting IR instruction when known; its stable site id (assigned by
+// the hardening passes) joins the report so a detection names the exact
+// check that tripped.
+func (m *Machine) obsForensics(flt *Fault, in *ir.Instr) *obs.FaultReport {
 	if m.obs == nil || m.obs.flight == nil {
 		return nil
 	}
@@ -200,10 +223,47 @@ func (m *Machine) obsForensics(flt *Fault) *obs.FaultReport {
 		Instr:  flt.Instr,
 		Window: m.obs.flight.Window(),
 	}
+	if in != nil {
+		r.Site = in.GetMeta("site")
+	}
 	if addr, ok := faultAddress(flt.Err); ok {
 		r.SetAddr(addr, mem.SegmentName(addr))
 	}
 	return r
+}
+
+// obsCoverFault counts a fault outcome at a hardening check site.
+func (m *Machine) obsCoverFault(in *ir.Instr) {
+	if m.obs == nil || m.obs.cover == nil || in == nil || !in.Op.IsHardening() {
+		return
+	}
+	c, ok := m.obs.cover[in]
+	if !ok {
+		c = &obs.SiteCount{}
+		m.obs.cover[in] = c
+	}
+	c.Faults++
+}
+
+// obsCoverage folds the machine-local per-site counts into a map keyed
+// by stable site id — the Result.Coverage payload. Sites without an id
+// (un-instrumented modules) are dropped.
+func (m *Machine) obsCoverage() map[string]obs.SiteCount {
+	if m.obs == nil || m.obs.cover == nil {
+		return nil
+	}
+	out := make(map[string]obs.SiteCount, len(m.obs.cover))
+	for in, c := range m.obs.cover {
+		id := in.GetMeta("site")
+		if id == "" {
+			continue
+		}
+		prev := out[id]
+		prev.Execs += c.Execs
+		prev.Faults += c.Faults
+		out[id] = prev
+	}
+	return out
 }
 
 // obsFlush publishes everything accumulated since the last flush: the

@@ -270,6 +270,11 @@ type Result struct {
 	// SitesExecuted counts the distinct static hardening instructions
 	// that ran at least once.
 	SitesExecuted int
+
+	// Coverage maps each hardening check site's stable id to its
+	// execution and fault counts for this run. Populated only when the
+	// active obs.Session carries a CoverageAgg; nil otherwise.
+	Coverage map[string]obs.SiteCount
 }
 
 // Ok reports whether the run completed without a fault.
@@ -299,6 +304,7 @@ func (m *Machine) Run(fname string, args ...uint64) (*Result, error) {
 		m.obsFlush()
 	}
 	res := &Result{Ret: ret, Fault: fault, Counters: m.Meter.C, Stdout: m.Stdout, SitesExecuted: len(m.siteHits)}
+	res.Coverage = m.obsCoverage()
 	return res, nil
 }
 
@@ -315,7 +321,8 @@ func (m *Machine) fault(kind FaultKind, f *ir.Func, in *ir.Instr, err error) *ex
 	if in != nil {
 		flt.Instr = in.String()
 	}
-	flt.Forensics = m.obsForensics(flt)
+	m.obsCoverFault(in)
+	flt.Forensics = m.obsForensics(flt, in)
 	return &execError{f: flt}
 }
 

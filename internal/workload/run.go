@@ -25,6 +25,10 @@ type RunResult struct {
 	// those that ran at least once (the Fig. 6b dynamic-share metric).
 	StaticSites   int
 	ExecutedSites int
+
+	// Coverage is the run's per-check-site dynamic tally keyed by stable
+	// site id; nil unless the session armed coverage telemetry.
+	Coverage map[string]obs.SiteCount
 }
 
 // Overhead returns this run's cycle overhead relative to base, percent.
@@ -110,15 +114,23 @@ func RunWith(pl *core.Pipeline, p *Profile, scheme core.Scheme) (*RunResult, err
 		return nil, fmt.Errorf("workload %s under %v faulted: %v", p.Name, scheme, res.Fault)
 	}
 	static := 0
+	var siteIDs []string
 	for _, f := range prog.Mod.Defined() {
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
 				if in.Op.IsHardening() {
 					static++
+					if id := in.GetMeta("site"); id != "" {
+						siteIDs = append(siteIDs, id)
+					}
 				}
 			}
 		}
 	}
+	// Defense-coverage telemetry: fold this run's static site inventory
+	// and the VM's per-site dynamic counts into the session aggregate
+	// (no-op unless -coverage armed one).
+	obs.CurrentCoverage().Record(p.Name, scheme.String(), siteIDs, prog.Mod.NumInstrs(), res.Coverage)
 	return &RunResult{
 		Profile:       p,
 		Scheme:        scheme,
@@ -130,5 +142,6 @@ func RunWith(pl *core.Pipeline, p *Profile, scheme core.Scheme) (*RunResult, err
 		Stdout:        len(res.Stdout),
 		StaticSites:   static,
 		ExecutedSites: res.SitesExecuted,
+		Coverage:      res.Coverage,
 	}, nil
 }

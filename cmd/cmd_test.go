@@ -761,3 +761,166 @@ func TestPythiaBenchJSON(t *testing.T) {
 		t.Fatalf("per-experiment cache delta wrong (want all hits post-prewarm): %+v", e)
 	}
 }
+
+// TestPythiaBenchRejectsBadAttribution: a negative site count follows
+// the exit-2 + usage convention of the other flag validations.
+func TestPythiaBenchRejectsBadAttribution(t *testing.T) {
+	expectExit2(t, builtBinary(t, "pythia-bench"), "invalid -attribution -1",
+		"-experiment", "bruteforce", "-attribution", "-1")
+}
+
+// TestPythiaBenchAttribution: -attribution renders the per-category
+// overhead ledger on stderr — prefixed with "# " so the table stream on
+// stdout stays golden — and the closing summary line certifies that the
+// category sums reconcile with the measured overhead deltas.
+func TestPythiaBenchAttribution(t *testing.T) {
+	cmd := exec.Command("go", "run", "./cmd/pythia-bench", "-experiment", "fig4a", "-quick", "-attribution", "3")
+	cmd.Dir = ".."
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("attribution run failed: %v\n%s", err, stderr.String())
+	}
+	for _, want := range []string{"# attribution", "categories reconcile", "residual"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("attribution report missing %q on stderr:\n%s", want, stderr.String())
+		}
+	}
+	if !strings.Contains(stdout.String(), "fig4a") {
+		t.Fatalf("table stream lost under -attribution:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "attribution") {
+		t.Fatal("attribution report leaked onto stdout")
+	}
+	// Every report line on stderr is comment-prefixed.
+	for _, line := range strings.Split(strings.TrimRight(stderr.String(), "\n"), "\n") {
+		if line != "" && !strings.HasPrefix(line, "# ") {
+			t.Fatalf("unprefixed stderr line %q", line)
+		}
+	}
+}
+
+// TestPythiaBenchServeAttribution: the live server exposes the
+// attribution rows and histogram snapshots while a sweep runs.
+func TestPythiaBenchServeAttribution(t *testing.T) {
+	bin := builtBinary(t, "pythia-bench")
+	cmd := exec.Command(bin, "-experiment", "fig4a", "-quick", "-repeat", "3", "-serve", "127.0.0.1:0")
+	cmd.Dir = ".."
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	base := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); strings.Contains(line, "# serving observability") && i >= 0 {
+			base = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		t.Fatal("serve line not found on stderr")
+	}
+	go io.Copy(io.Discard, stderr)
+
+	// Both endpoints are armed for the whole run: they answer 200 with a
+	// well-formed document even before the first cell completes.
+	resp, err := http.Get(base + "/api/attribution")
+	if err != nil {
+		t.Fatalf("GET /api/attribution: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/attribution status %d:\n%s", resp.StatusCode, body)
+	}
+	var attribDoc struct {
+		Attribution []json.RawMessage `json:"attribution"`
+	}
+	if err := json.Unmarshal(body, &attribDoc); err != nil {
+		t.Fatalf("/api/attribution does not parse: %v\n%s", err, body)
+	}
+
+	resp, err = http.Get(base + "/api/histo")
+	if err != nil {
+		t.Fatalf("GET /api/histo: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/histo status %d:\n%s", resp.StatusCode, body)
+	}
+	var histoDoc struct {
+		Histos map[string]json.RawMessage `json:"histos"`
+	}
+	if err := json.Unmarshal(body, &histoDoc); err != nil {
+		t.Fatalf("/api/histo does not parse: %v\n%s", err, body)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve run failed: %v", err)
+	}
+}
+
+// TestPythiaFuzzServeAttribution404: the fuzz server never arms the
+// attribution engine, so /api/attribution answers 404 — not an empty
+// 200, which would read as "measured, found no overhead" — while
+// /api/histo works because metrics are armed.
+func TestPythiaFuzzServeAttribution404(t *testing.T) {
+	bin := builtBinary(t, "pythia-fuzz")
+	cmd := exec.Command(bin, "-quick", "-seed", "1", "-execs", "5000", "-serve", "127.0.0.1:0")
+	cmd.Dir = ".."
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	base := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); strings.Contains(line, "# serving observability") && i >= 0 {
+			base = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		t.Fatal("serve line not found on stderr")
+	}
+	go io.Copy(io.Discard, stderr)
+
+	resp, err := http.Get(base + "/api/attribution")
+	if err != nil {
+		t.Fatalf("GET /api/attribution: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/api/attribution without an armed engine: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/api/histo")
+	if err != nil {
+		t.Fatalf("GET /api/histo: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/histo with armed metrics: status %d, want 200", resp.StatusCode)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("fuzz serve run failed: %v", err)
+	}
+}

@@ -44,7 +44,7 @@ func main() {
 		list       = flag.Bool("list", false, "list attack cases and exit")
 		jsonOut    = flag.Bool("json", false, "emit the outcome matrix as one JSON document")
 		forensics  = flag.Bool("forensics", false, "print the flight-recorder report under each detection")
-		metrics    = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
+		metrics    = flag.String("metrics", "", "write a metrics registry dump — counters, gauges, and latency histograms (vm.run.ms quantiles) — to this file (\"-\" = text to stderr)")
 		journalOut = flag.String("journal", "", "stream the causal run journal to this file as JSONL")
 	)
 	flag.Parse()

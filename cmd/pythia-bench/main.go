@@ -15,6 +15,8 @@
 //	pythia-bench -journal j.jsonl # causal run journal, one JSON event per line
 //	pythia-bench -coverage        # defense-coverage report (static vs exercised check sites)
 //	pythia-bench -hotsites 20     # top-N IR sites by attributed cycles
+//	pythia-bench -attribution 5   # overhead attribution: per-category cycle
+//	                              # decomposition vs vanilla, top-5 sites per cell
 //	pythia-bench -metrics m.json  # metrics registry dump ("-" = text to stderr)
 //	pythia-bench -cache-dir .pythia-cache  # persistent compile/harden artifacts
 //	pythia-bench -suite 3x2x3     # generated parameterized suite instead of
@@ -42,9 +44,17 @@
 // wall times and cache statistics go to stderr, keeping the table stream
 // byte-identical between sequential fresh and parallel cached runs.
 // The observability flags (-trace, -journal, -coverage, -hotsites,
-// -metrics, -serve) likewise leave stdout untouched: traces, journals
-// and metrics go to their files, the hot-site and coverage reports to
-// stderr, the server to its socket.
+// -attribution, -metrics, -serve) likewise leave stdout untouched:
+// traces, journals and metrics go to their files, the hot-site,
+// coverage and attribution reports to stderr, the server to its socket.
+//
+// -attribution N arms the overhead attribution engine: every hardened
+// run's per-check-site cycle profile is diffed against the vanilla run
+// of the same source and decomposed into check-kind categories (pa,
+// canary, dfi, meta, residual) that provably sum to the total overhead
+// delta; the top-N costliest sites of each cell are listed. The same
+// data is embedded in -save records (schema v2), so a later -compare
+// can blame a regression on the categories and sites that grew.
 package main
 
 import (
@@ -130,27 +140,28 @@ func checkWritable(path string) error {
 
 func main() {
 	var (
-		expID     = flag.String("experiment", "", "run only this experiment id (see -list)")
-		quick     = flag.Bool("quick", false, "run on a 3-benchmark subset")
-		format    = flag.String("format", "ascii", "output format: ascii, csv, markdown")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		parallel  = flag.Int("parallel", 0, "pre-warm worker pool size (0 = GOMAXPROCS)")
-		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON document instead of rendered tables")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (derived from the causal journal)")
-		journal   = flag.String("journal", "", "stream the causal run journal to this file as JSONL")
-		coverage  = flag.Bool("coverage", false, "report defense-check coverage (static vs exercised sites) to stderr")
-		hotsites  = flag.Int("hotsites", 0, "report the top-N IR sites by attributed cycles (0 = off)")
-		metrics   = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
-		repeat    = flag.Int("repeat", 1, "run the sweep N times (fresh run cache each) collecting wall-time samples")
-		savePath  = flag.String("save", "", "append a bench history record (BENCH_<rev>.json format) to this file")
-		baseline  = flag.String("baseline", "", "history file to compare against (newest record)")
-		compare   = flag.Bool("compare", false, "compare this run against -baseline and render a verdict table")
-		threshold = flag.Float64("threshold", 0, "allowed modeled-metric growth percent before -compare regresses")
-		serveAddr = flag.String("serve", "", "serve live observability HTTP endpoints on this address during the run")
-		cacheDir  = flag.String("cache-dir", "", "persist compile/harden artifacts in this directory (content-addressed, shared across processes)")
-		suiteSpec = flag.String("suite", "", "run on a generated parameterized suite instead of the fixed profiles (PxDxC, e.g. 3x2x3)")
+		expID       = flag.String("experiment", "", "run only this experiment id (see -list)")
+		quick       = flag.Bool("quick", false, "run on a 3-benchmark subset")
+		format      = flag.String("format", "ascii", "output format: ascii, csv, markdown")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		parallel    = flag.Int("parallel", 0, "pre-warm worker pool size (0 = GOMAXPROCS)")
+		jsonOut     = flag.Bool("json", false, "emit one machine-readable JSON document instead of rendered tables")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (derived from the causal journal)")
+		journal     = flag.String("journal", "", "stream the causal run journal to this file as JSONL")
+		coverage    = flag.Bool("coverage", false, "report defense-check coverage (static vs exercised sites) to stderr")
+		hotsites    = flag.Int("hotsites", 0, "report the top-N IR sites by attributed cycles (0 = off)")
+		attribution = flag.Int("attribution", 0, "report per-category overhead attribution vs vanilla with the top-N sites per cell (0 = off)")
+		metrics     = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
+		repeat      = flag.Int("repeat", 1, "run the sweep N times (fresh run cache each) collecting wall-time samples")
+		savePath    = flag.String("save", "", "append a bench history record (BENCH_<rev>.json format) to this file")
+		baseline    = flag.String("baseline", "", "history file to compare against (newest record)")
+		compare     = flag.Bool("compare", false, "compare this run against -baseline and render a verdict table")
+		threshold   = flag.Float64("threshold", 0, "allowed modeled-metric growth percent before -compare regresses")
+		serveAddr   = flag.String("serve", "", "serve live observability HTTP endpoints on this address during the run")
+		cacheDir    = flag.String("cache-dir", "", "persist compile/harden artifacts in this directory (content-addressed, shared across processes)")
+		suiteSpec   = flag.String("suite", "", "run on a generated parameterized suite instead of the fixed profiles (PxDxC, e.g. 3x2x3)")
 	)
 	flag.Parse()
 
@@ -160,6 +171,9 @@ func main() {
 	}
 	if *repeat < 1 {
 		usageError("invalid -repeat %d: need at least one run per experiment", *repeat)
+	}
+	if *attribution < 0 {
+		usageError("invalid -attribution %d: need a non-negative site count", *attribution)
 	}
 	if *compare && *baseline == "" {
 		usageError("-compare needs -baseline <file> to compare against")
@@ -200,7 +214,7 @@ func main() {
 	}
 
 	var sess *obs.Session
-	if *traceOut != "" || *journal != "" || *coverage || *hotsites > 0 || *metrics != "" || *savePath != "" || *serveAddr != "" {
+	if *traceOut != "" || *journal != "" || *coverage || *hotsites > 0 || *attribution > 0 || *metrics != "" || *savePath != "" || *compare || *serveAddr != "" {
 		sess = &obs.Session{}
 		if *traceOut != "" || *journal != "" {
 			// The journal is the primary record; -trace renders a derived
@@ -223,6 +237,11 @@ func main() {
 		}
 		if *metrics != "" || *savePath != "" || *serveAddr != "" {
 			sess.Metrics = obs.Default()
+		}
+		// Attribution arms for -save and -compare too, so every history
+		// record carries blame data and the perf gate can use it.
+		if *attribution > 0 || *savePath != "" || *compare || *serveAddr != "" {
+			sess.Attrib = obs.NewAttribAgg()
 		}
 		if *serveAddr != "" {
 			sess.Progress = &obs.Progress{}
@@ -281,7 +300,7 @@ func main() {
 			usageError("-serve %s: %v", *serveAddr, err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "# serving observability on http://%s (/healthz /metricz /debug/vars /debug/pprof/ /hotsites /progress /api/journal /api/spans /api/coverage)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "# serving observability on http://%s (/healthz /metricz /debug/vars /debug/pprof/ /hotsites /progress /api/journal /api/spans /api/coverage /api/attribution /api/histo)\n", srv.Addr())
 	}
 
 	if sess != nil && sess.Progress != nil {
@@ -393,14 +412,14 @@ func main() {
 	var rec *bench.Record
 	if *savePath != "" || *compare {
 		rec = &bench.Record{
-			Schema:    bench.HistorySchema,
-			SavedAt:   time.Now().UTC().Format(time.RFC3339),
-			Env:       doc.Env,
-			Quick:     *quick,
-			Repeat:    *repeat,
-			TotalMS:   totalMS,
-			PrewarmMS: prewarmMS,
-			Runs:      bench.RunRecordsFrom(firstRunner),
+			SchemaVersion: bench.HistorySchema,
+			SavedAt:       time.Now().UTC().Format(time.RFC3339),
+			Env:           doc.Env,
+			Quick:         *quick,
+			Repeat:        *repeat,
+			TotalMS:       totalMS,
+			PrewarmMS:     prewarmMS,
+			Runs:          bench.RunRecordsFrom(firstRunner),
 		}
 		for i, e := range exps {
 			rec.Experiments = append(rec.Experiments, bench.ExperimentRecord{
@@ -412,6 +431,9 @@ func main() {
 		if sess != nil && sess.Metrics != nil {
 			snap := sess.Metrics.Snapshot()
 			rec.Metrics = &snap
+		}
+		if sess != nil && sess.Attrib != nil {
+			rec.Attribution = bench.AttribRecordsFrom(sess.Attrib)
 		}
 	}
 	if *savePath != "" {
@@ -456,17 +478,50 @@ func main() {
 	}
 
 	if sess != nil {
-		finishObs(sess, *traceOut, *journal, *metrics, *hotsites, *coverage)
+		finishObs(sess, *traceOut, *journal, *metrics, *hotsites, *attribution, *coverage)
 	}
 	if regressed {
 		os.Exit(1)
 	}
 }
 
-// finishObs writes the session's trace, journal, metrics, hot-site and
-// coverage outputs. Everything goes to files or stderr so the table
-// stream on stdout stays byte-identical with and without observability.
-func finishObs(sess *obs.Session, traceOut, journal, metrics string, hotsites int, coverage bool) {
+// finishObs writes the session's trace, journal, metrics, hot-site,
+// attribution and coverage outputs. Everything goes to files or stderr
+// so the table stream on stdout stays byte-identical with and without
+// observability. A reconciliation failure in the attribution accounting
+// is a hard error (exit 1): it means cycles were dropped or
+// double-counted between the VM and the report.
+func finishObs(sess *obs.Session, traceOut, journal, metrics string, hotsites, attribution int, coverage bool) {
+	// Attribution first: its journal points must land before the journal
+	// is closed and the trace derived.
+	var reconcileErr error
+	if sess.Attrib != nil {
+		rows := sess.Attrib.Rows()
+		for i := range rows {
+			r := &rows[i]
+			if err := r.Reconcile(); err != nil && reconcileErr == nil {
+				reconcileErr = err
+			}
+			if j := sess.Journal; j != nil {
+				attrs := map[string]string{
+					"profile":      r.Profile,
+					"scheme":       r.Scheme,
+					"overhead_pct": fmt.Sprintf("%.4f", r.OverheadPct),
+					"delta_cycles": fmt.Sprintf("%.3f", r.Delta),
+				}
+				for cat, v := range r.Categories {
+					attrs["cat."+cat] = fmt.Sprintf("%.3f", v)
+				}
+				j.Point("attribution "+r.Profile+" ["+r.Scheme+"]", "bench", attrs)
+			}
+		}
+		if attribution > 0 {
+			fmt.Fprint(os.Stderr, bench.AttributionTable(rows, attribution).Prefixed("# "))
+			if reconcileErr == nil {
+				fmt.Fprintf(os.Stderr, "# attribution: %d row(s), categories reconcile with overhead deltas within %g\n", len(rows), obs.ReconcileTol)
+			}
+		}
+	}
 	if traceOut != "" {
 		if err := sess.Journal.WriteTraceFile(traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, "pythia-bench:", err)
@@ -508,6 +563,10 @@ func finishObs(sess *obs.Session, traceOut, journal, metrics string, hotsites in
 	}
 	if coverage {
 		sess.Coverage.WriteReport(os.Stderr)
+	}
+	if reconcileErr != nil {
+		fmt.Fprintln(os.Stderr, "pythia-bench:", reconcileErr)
+		os.Exit(1)
 	}
 }
 

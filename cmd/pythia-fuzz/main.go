@@ -66,7 +66,7 @@ func main() {
 		list        = flag.Bool("list", false, "list fuzz targets and exit")
 		jsonOut     = flag.Bool("json", false, "emit the run summary as one JSON document")
 		verbose     = flag.Bool("v", false, "log per-round progress to stderr")
-		metrics     = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
+		metrics     = flag.String("metrics", "", "write a metrics registry dump — counters, gauges, and the fuzz.round.ms / vm.run.ms latency histograms — to this file (\"-\" = text to stderr)")
 		journalOut  = flag.String("journal", "", "stream the causal run journal to this file as JSONL")
 		serveAddr   = flag.String("serve", "", "serve live observability HTTP endpoints on this address during the run")
 		cacheDir    = flag.String("cache-dir", "", "persist compile/harden artifacts in this directory (content-addressed, shared across processes)")
@@ -161,7 +161,7 @@ func main() {
 				usageError("-serve %s: %v", *serveAddr, err)
 			}
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "# serving observability on http://%s (/healthz /metricz /debug/vars /progress /api/journal /api/spans)\n", srv.Addr())
+			fmt.Fprintf(os.Stderr, "# serving observability on http://%s (/healthz /metricz /debug/vars /progress /api/journal /api/spans /api/histo)\n", srv.Addr())
 		}
 		reg, metricsPath := sess.Metrics, *metrics
 		writeMetrics = func() {

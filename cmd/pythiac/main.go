@@ -42,7 +42,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "machine seed (keys, canary RNG)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (derived from the causal journal)")
 		journalOut = flag.String("journal", "", "stream the causal run journal to this file as JSONL")
-		metrics    = flag.String("metrics", "", "write a metrics registry dump to this file (\"-\" = text to stderr)")
+		metrics    = flag.String("metrics", "", "write a metrics registry dump — counters, gauges, and latency histograms (pipeline.compile.ms, vm.run.ms) — to this file (\"-\" = text to stderr)")
 		cacheDir   = flag.String("cache-dir", "", "persist compile/harden artifacts in this directory (content-addressed, shared across processes)")
 	)
 	flag.Parse()

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harden"
@@ -98,9 +99,12 @@ func RunWith(pl *core.Pipeline, c *Case, scheme core.Scheme) (*Outcome, error) {
 // runArmed executes main() on a fresh machine with the flight recorder
 // enabled (core.Program.Run builds plain machines).
 func runArmed(p *core.Program, stdin string) (*vm.Result, error) {
+	start := time.Now()
 	m := vm.New(p.Mod, vm.Config{Seed: p.Seed, Flight: obs.DefaultFlightWindow})
 	m.Stdin.SetInput([]byte(stdin))
-	return m.Run("main")
+	res, err := m.Run("main")
+	obs.ObserveMS("vm.run.ms", time.Since(start))
+	return res, err
 }
 
 // Classify maps a run result to a verdict — the differential oracle

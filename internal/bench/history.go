@@ -34,8 +34,12 @@ import (
 	"repro/internal/stats"
 )
 
-// HistorySchema versions the record format.
-const HistorySchema = 1
+// HistorySchema versions the record format. v2 added the Attribution
+// block; records never carry a schema newer than the writing binary,
+// and readers accept anything at or below their own (absent fields
+// simply decode to their zero values), so v1 files — including
+// version-less seeds that predate the field — keep loading.
+const HistorySchema = 2
 
 // wallAlpha is the two-sided significance level for wall-time verdicts.
 const wallAlpha = 0.05
@@ -97,18 +101,22 @@ type ExperimentRecord struct {
 
 // Record is one appended entry of a BENCH_<rev>.json history file.
 type Record struct {
-	Schema      int                `json:"schema"`
-	SavedAt     string             `json:"saved_at,omitempty"`
-	Env         EnvFingerprint     `json:"env"`
-	Quick       bool               `json:"quick"`
-	Repeat      int                `json:"repeat"`
-	TotalMS     []float64          `json:"total_ms"`
-	PrewarmMS   []float64          `json:"prewarm_ms"`
-	Runs        []RunRecord        `json:"runs"`
-	Experiments []ExperimentRecord `json:"experiments"`
+	SchemaVersion int                `json:"schema"`
+	SavedAt       string             `json:"saved_at,omitempty"`
+	Env           EnvFingerprint     `json:"env"`
+	Quick         bool               `json:"quick"`
+	Repeat        int                `json:"repeat"`
+	TotalMS       []float64          `json:"total_ms"`
+	PrewarmMS     []float64          `json:"prewarm_ms"`
+	Runs          []RunRecord        `json:"runs"`
+	Experiments   []ExperimentRecord `json:"experiments"`
 	// Metrics snapshots the obs registry (cache hit/miss counters, pool
 	// sizing, engine routing) when a session was active during the run.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Attribution carries the per-cell overhead decomposition captured
+	// when the run armed the attribution engine; the perf gate uses the
+	// baseline's copy to blame regressions (schema v2).
+	Attribution []AttribRecord `json:"attribution,omitempty"`
 }
 
 // TableDigest fingerprints a rendered table; format-independent of the
@@ -182,8 +190,8 @@ func LoadHistory(path string) ([]Record, error) {
 		if err := dec.Decode(&rec); err != nil {
 			return nil, fmt.Errorf("bench: history %s: record %d: %w", path, len(out)+1, err)
 		}
-		if rec.Schema > HistorySchema {
-			return nil, fmt.Errorf("bench: history %s: record %d has schema %d, this binary reads <= %d", path, len(out)+1, rec.Schema, HistorySchema)
+		if rec.SchemaVersion > HistorySchema {
+			return nil, fmt.Errorf("bench: history %s: record %d has schema %d, this binary reads <= %d", path, len(out)+1, rec.SchemaVersion, HistorySchema)
 		}
 		out = append(out, rec)
 	}
@@ -216,6 +224,10 @@ type RunVerdict struct {
 	Verdict                 string
 	Regressed               bool
 	MissingBase, MissingCur bool
+	// Blame names the attribution categories and sites whose cost grew
+	// the most, when both records carry attribution for this cell; empty
+	// otherwise. Only populated for regressed verdicts.
+	Blame string
 }
 
 // ExpVerdict is one per-experiment comparison row: the table digest
@@ -247,12 +259,20 @@ func (c *Comparison) Regressions() []string {
 	var out []string
 	for _, r := range c.Runs {
 		if r.Regressed {
-			out = append(out, fmt.Sprintf("%s/%s: cycles %+.2f%%, size %+.2f%% (threshold %.2f%%)",
-				r.label(), r.Scheme, r.CyclesPct, r.BytesPct, c.ThresholdPct))
+			s := fmt.Sprintf("%s/%s: cycles %+.2f%%, size %+.2f%% (threshold %.2f%%)",
+				r.label(), r.Scheme, r.CyclesPct, r.BytesPct, c.ThresholdPct)
+			if r.Blame != "" {
+				s += "; " + r.Blame
+			}
+			out = append(out, s)
 		}
 	}
 	return out
 }
+
+// blameTopK bounds how many categories and sites a regression blame
+// names — enough to act on, short enough for a one-line verdict.
+const blameTopK = 3
 
 // Compare measures cur against base. thresholdPct is the allowed
 // relative growth of each modeled metric before a run counts as a
@@ -284,6 +304,7 @@ func Compare(cur, base *Record, thresholdPct float64) *Comparison {
 		case v.CyclesPct > thresholdPct || v.BytesPct > thresholdPct:
 			v.Verdict = "REGRESSED"
 			v.Regressed = true
+			v.Blame = attribBlame(base.Attribution, cur.Attribution, r.Profile, r.Scheme, r.Fingerprint, blameTopK)
 		case v.CyclesPct < 0 || v.BytesPct < 0:
 			v.Verdict = "improved"
 		case v.CyclesPct > 0 || v.BytesPct > 0:
@@ -406,6 +427,11 @@ func (c *Comparison) Tables() []*report.Table {
 		}
 	}
 	modeled.AddNote("%d run(s) compared, %d regression(s) beyond %.2f%% threshold; modeled metrics are deterministic, so any delta is a real code change", len(c.Runs), regressed, c.ThresholdPct)
+	for _, r := range c.Runs {
+		if r.Regressed && r.Blame != "" {
+			modeled.AddNote("%s/%s %s", r.label(), r.Scheme, r.Blame)
+		}
+	}
 
 	wall := &report.Table{
 		ID:      "compare-wall",

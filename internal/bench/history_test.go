@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -10,12 +11,12 @@ import (
 
 func sampleRecord() *Record {
 	return &Record{
-		Schema:    HistorySchema,
-		Env:       Fingerprint(),
-		Quick:     true,
-		Repeat:    3,
-		TotalMS:   []float64{1000, 1010, 990},
-		PrewarmMS: []float64{700, 705, 695},
+		SchemaVersion: HistorySchema,
+		Env:           Fingerprint(),
+		Quick:         true,
+		Repeat:        3,
+		TotalMS:       []float64{1000, 1010, 990},
+		PrewarmMS:     []float64{700, 705, 695},
 		Runs: []RunRecord{
 			{Profile: "502.gcc_r", Scheme: "pythia", Cycles: 2.5e6, Instrs: 1e6, PAInstrs: 5000, BinarySize: 120000},
 			{Profile: "502.gcc_r", Scheme: "vanilla", Cycles: 2.0e6, Instrs: 9e5, PAInstrs: 0, BinarySize: 100000},
@@ -242,5 +243,75 @@ func TestCompareDuplicateProfileNames(t *testing.T) {
 	rendered := cmp.Tables()[0].String()
 	if !strings.Contains(rendered, "nginx@aaaaaaaa") || !strings.Contains(rendered, "nginx@bbbbbbbb") {
 		t.Fatalf("duplicate rows not disambiguated:\n%s", rendered)
+	}
+}
+
+// TestHistorySchemaVersioning: v2 records round-trip with their
+// attribution block; legacy records — both explicit schema 1 and
+// version-less files from before the field existed — decode without
+// error and simply carry no attribution. Only a FUTURE schema is
+// rejected.
+func TestHistorySchemaVersioning(t *testing.T) {
+	dir := t.TempDir()
+
+	// v2 round-trip with attribution embedded.
+	path := filepath.Join(dir, "BENCH_v2.json")
+	rec := sampleRecord()
+	rec.Attribution = []AttribRecord{{
+		Profile: "502.gcc_r", Scheme: "pythia", Delta: 5e5, OverheadPct: 25,
+		Categories: map[string]float64{"pa": 4e5, "residual": 1e5},
+		Sites:      []AttribSite{{Site: "@f#0:pac.sign", Count: 100, Cycles: 4e5}},
+	}}
+	if err := AppendRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LatestRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SchemaVersion != HistorySchema || len(loaded.Attribution) != 1 {
+		t.Fatalf("v2 round trip: schema=%d attribution=%d", loaded.SchemaVersion, len(loaded.Attribution))
+	}
+	a := loaded.Attribution[0]
+	if a.Categories["pa"] != 4e5 || a.Sites[0].Site != "@f#0:pac.sign" {
+		t.Fatalf("attribution lost content: %+v", a)
+	}
+
+	// Version-less legacy document (pre-schema seed): decodes as 0.
+	legacy := filepath.Join(dir, "BENCH_legacy.json")
+	doc := `{"env": {"go_version": "go1.22"}, "quick": true, "repeat": 1,
+	  "runs": [{"profile": "nginx", "scheme": "vanilla", "cycles": 1e6, "binary_size": 1}],
+	  "experiments": []}`
+	if err := os.WriteFile(legacy, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lrec, err := LatestRecord(legacy)
+	if err != nil {
+		t.Fatalf("version-less record must decode: %v", err)
+	}
+	if lrec.SchemaVersion != 0 || lrec.Attribution != nil || lrec.Runs[0].Profile != "nginx" {
+		t.Fatalf("legacy decode: %+v", lrec)
+	}
+
+	// Explicit v1 record: also fine.
+	v1 := filepath.Join(dir, "BENCH_v1.json")
+	old := sampleRecord()
+	old.SchemaVersion = 1
+	if err := AppendRecord(v1, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LatestRecord(v1); err != nil {
+		t.Fatalf("schema 1 record must decode: %v", err)
+	}
+
+	// A future schema must be refused, not misread.
+	future := filepath.Join(dir, "BENCH_future.json")
+	fut := sampleRecord()
+	fut.SchemaVersion = HistorySchema + 1
+	if err := AppendRecord(future, fut); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LatestRecord(future); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("future schema must be rejected, got %v", err)
 	}
 }

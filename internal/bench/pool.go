@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -65,19 +66,27 @@ func forEach(workers, n int, fn func(i int)) {
 	// stage that requested it rather than orphaned per goroutine.
 	parent := obs.CurrentSpanID()
 	var wg sync.WaitGroup
-	next := make(chan int)
+	// The channel is unbuffered, so each item's enqueue timestamp to
+	// receipt measures how long it waited for a free worker — the pool
+	// saturation signal behind the bench.pool.queue_wait.ms histogram.
+	type item struct {
+		i  int
+		at time.Time
+	}
+	next := make(chan item)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer obs.AdoptSpan(parent)()
-			for i := range next {
-				fn(i)
+			for it := range next {
+				obs.ObserveMS("bench.pool.queue_wait.ms", time.Since(it.at))
+				fn(it.i)
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
-		next <- i
+		next <- item{i: i, at: time.Now()}
 	}
 	close(next)
 	wg.Wait()

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dfi"
 	"repro/internal/harden"
@@ -116,9 +117,11 @@ func (p *Program) NewMachine() *vm.Machine {
 // Run executes main() with the given stdin contents on a fresh machine.
 func (p *Program) Run(stdin string, args ...uint64) (*vm.Result, error) {
 	end := obs.TraceSpan(fmt.Sprintf("run %s [%v]", p.Mod.Name, p.Protection.Scheme), "vm")
+	start := time.Now()
 	m := p.NewMachine()
 	m.Stdin.SetInput([]byte(stdin))
 	res, err := m.Run("main", args...)
+	obs.ObserveMS("vm.run.ms", time.Since(start))
 	end()
 	if res != nil && res.Fault != nil {
 		obs.TraceInstant("fault: "+res.Fault.Kind.String(), "vm", map[string]any{

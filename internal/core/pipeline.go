@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/dfi"
@@ -157,6 +158,7 @@ func (pl *Pipeline) compile(name, src string) *compileEntry {
 			}
 		}
 		count("pipeline.compile.misses", map[string]string{"name": name})
+		defer func(start time.Time) { obs.ObserveMS("pipeline.compile.ms", time.Since(start)) }(time.Now())
 		mod, err := CompileC(name, src)
 		if err != nil {
 			e.err = err
@@ -225,6 +227,7 @@ func (pl *Pipeline) harden(name string, ce *compileEntry, scheme Scheme) *harden
 			}
 		}
 		count("pipeline.harden.misses", map[string]string{"name": name, "scheme": scheme.String()})
+		defer func(start time.Time) { obs.ObserveMS("pipeline.harden.ms", time.Since(start)) }(time.Now())
 		mod := ce.mod.Clone()
 		prot, err := Protect(mod, scheme)
 		if err != nil {

@@ -254,6 +254,7 @@ func (f *fuzzer) round(jobs []job) error {
 	}
 
 	if f.metrics != nil {
+		f.metrics.Histo("fuzz.round.ms").Observe(float64(time.Since(rstart).Nanoseconds()) / 1e6)
 		f.metrics.Gauge("fuzz.execs_per_sec").Set(float64(f.execs) / time.Since(f.start).Seconds())
 		corpus, edges := 0, 0
 		for _, st := range f.states {

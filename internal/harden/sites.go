@@ -8,6 +8,7 @@ package harden
 
 import (
 	"strconv"
+	"strings"
 
 	"repro/internal/ir"
 )
@@ -36,6 +37,57 @@ func AssignSites(mod *ir.Module) int {
 		}
 	}
 	return n
+}
+
+// SiteOp returns the opcode component of an AssignSites id
+// ("@main#3:pac.sign" -> "pac.sign"), or "" for a malformed id. Op
+// renderings never contain a colon, so the first ':' is the separator.
+func SiteOp(id string) string {
+	if !strings.HasPrefix(id, "@") {
+		return ""
+	}
+	i := strings.IndexByte(id, ':')
+	if i < 0 || i+1 == len(id) {
+		return ""
+	}
+	return id[i+1:]
+}
+
+// Check-kind categories for overhead attribution. A site id's opcode
+// maps to the defense mechanism whose cost it carries; CategoryMeta
+// additionally absorbs non-site bookkeeping cycles (sectioned-allocator
+// latency, heap-section init) and any unrecognized hardening op, and
+// CategoryResidual is the accounting remainder — cache and branch
+// effects of the instrumentation that no single site owns.
+const (
+	CategoryPA       = "pa"
+	CategoryCanary   = "canary"
+	CategoryDFI      = "dfi"
+	CategoryMeta     = "meta"
+	CategoryResidual = "residual"
+)
+
+// Categories lists every attribution category in report order.
+var Categories = []string{CategoryPA, CategoryCanary, CategoryDFI, CategoryMeta, CategoryResidual}
+
+// SiteCategory buckets a site id into its check-kind category. Every
+// hardening op must map somewhere: unknown ops fall into CategoryMeta
+// rather than vanishing, so attribution stays exhaustive when a new
+// hardening opcode appears before this table learns about it.
+func SiteCategory(id string) string {
+	switch op := SiteOp(id); {
+	case strings.HasPrefix(op, "pac.") || strings.HasPrefix(op, "obj.") ||
+		strings.HasPrefix(op, "seal.") || strings.HasPrefix(op, "check."):
+		// The whole ir.Op.IsPA family: pac intrinsics, sealed-scalar
+		// seal.store/check.load, and object-granular obj.seal/obj.check.
+		return CategoryPA
+	case strings.HasPrefix(op, "canary."):
+		return CategoryCanary
+	case strings.HasPrefix(op, "dfi."):
+		return CategoryDFI
+	default:
+		return CategoryMeta
+	}
 }
 
 // SiteIDs returns every assigned site id in mod, in assignment order.

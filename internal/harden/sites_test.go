@@ -118,3 +118,63 @@ func TestAssignSitesIdempotent(t *testing.T) {
 		}
 	}
 }
+
+// TestSiteOpAndCategory: the site-id parser recovers the op suffix
+// (first ':' splits, because op names contain dots but never colons)
+// and every op family maps to its attribution category; anything
+// unrecognized lands in meta rather than vanishing.
+func TestSiteOpAndCategory(t *testing.T) {
+	cases := []struct {
+		id, op, cat string
+	}{
+		{"@main#0:pac.sign", "pac.sign", harden.CategoryPA},
+		{"@main#1:pac.auth", "pac.auth", harden.CategoryPA},
+		{"@f#2:obj.seal", "obj.seal", harden.CategoryPA},
+		{"@f#3:obj.check", "obj.check", harden.CategoryPA},
+		{"@f#4:seal.store", "seal.store", harden.CategoryPA},
+		{"@f#5:check.load", "check.load", harden.CategoryPA},
+		{"@g#0:canary.set", "canary.set", harden.CategoryCanary},
+		{"@g#1:canary.check", "canary.check", harden.CategoryCanary},
+		{"@h#0:dfi.setdef", "dfi.setdef", harden.CategoryDFI},
+		{"@h#1:dfi.chkdef", "dfi.chkdef", harden.CategoryDFI},
+		{"@h#2:mystery.op", "mystery.op", harden.CategoryMeta},
+		{"not-a-site-id", "", harden.CategoryMeta},
+		{"@broken#0", "", harden.CategoryMeta},
+	}
+	for _, c := range cases {
+		if got := harden.SiteOp(c.id); got != c.op {
+			t.Errorf("SiteOp(%q) = %q, want %q", c.id, got, c.op)
+		}
+		if got := harden.SiteCategory(c.id); got != c.cat {
+			t.Errorf("SiteCategory(%q) = %q, want %q", c.id, got, c.cat)
+		}
+	}
+	// Categories is the stable report order with residual last.
+	if len(harden.Categories) != 5 || harden.Categories[len(harden.Categories)-1] != harden.CategoryResidual {
+		t.Errorf("Categories = %v", harden.Categories)
+	}
+}
+
+// TestSiteIDsCategorized: every id a real hardening pass assigns parses
+// into a non-meta category — a new hardening op that falls through to
+// meta should be added to SiteCategory (meta is for bookkeeping, not a
+// dumping ground for classifiable checks).
+func TestSiteIDsCategorized(t *testing.T) {
+	for _, scheme := range []harden.Scheme{harden.CPA, harden.Pythia} {
+		mod, err := minic.Compile("sites", sitesSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := harden.Apply(mod, scheme); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range harden.SiteIDs(mod) {
+			if harden.SiteOp(id) == "" {
+				t.Errorf("%v: id %q does not parse", scheme, id)
+			}
+			if harden.SiteCategory(id) == harden.CategoryMeta {
+				t.Errorf("%v: id %q fell through to meta", scheme, id)
+			}
+		}
+	}
+}

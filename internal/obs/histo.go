@@ -1,0 +1,136 @@
+package obs
+
+// Log-bucketed histograms for the metrics registry: pipeline stage
+// latencies, pool queue waits, per-run VM wall times. Buckets are
+// powers of two, so the layout is fixed (no rebalancing), merging is
+// trivial, and the text rendering has a stable bucket order on every
+// surface. Observation takes a mutex, not an atomic fast path — every
+// current call site observes per stage or per run, never per
+// instruction, so contention is negligible.
+
+import (
+	"math"
+	"sync"
+)
+
+// histoBuckets is the fixed bucket count. Bucket i covers the value
+// range (2^(i-histoZero-1), 2^(i-histoZero)], so with histoZero = 32
+// the histogram spans 2^-32 through 2^31 — for millisecond readings,
+// sub-nanosecond through ~24 days.
+const (
+	histoBuckets = 64
+	histoZero    = 32
+)
+
+// BucketBound returns bucket i's inclusive upper bound.
+func BucketBound(i int) float64 { return math.Ldexp(1, i-histoZero) }
+
+// bucketIndex maps a value to its bucket. Non-positive values (clock
+// quantization can produce exact zeros) land in bucket 0.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	if frac == 0.5 {
+		exp-- // exact powers of two belong to the bucket they bound
+	}
+	idx := exp + histoZero
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histoBuckets {
+		return histoBuckets - 1
+	}
+	return idx
+}
+
+// Histo is a concurrency-safe log2-bucketed histogram.
+type Histo struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histoBuckets]int64
+}
+
+// Observe folds one value into the histogram.
+func (h *Histo) Observe(v float64) {
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketIndex(v)]++
+	h.mu.Unlock()
+}
+
+// HistoBucket is one non-empty bucket of a snapshot: the count of
+// observations at or below Le (and above the previous bucket's bound).
+type HistoBucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistoSnapshot is a stable copy of a histogram: exact count/sum/min/
+// max plus bucket-resolution quantiles. Quantiles are each bucket's
+// upper bound clamped into [min, max], so they are deterministic and
+// never report a value outside the observed range.
+type HistoSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Buckets []HistoBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histo) Snapshot() HistoSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistoSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	for i, n := range h.buckets {
+		if n > 0 {
+			s.Buckets = append(s.Buckets, HistoBucket{Le: BucketBound(i), Count: n})
+		}
+	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P90 = h.quantileLocked(0.90)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+// quantileLocked returns the q-quantile at bucket resolution; the
+// caller holds h.mu.
+func (h *Histo) quantileLocked(q float64) float64 {
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			ub := BucketBound(i)
+			if ub > h.max {
+				ub = h.max
+			}
+			if ub < h.min {
+				ub = h.min
+			}
+			return ub
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, histoZero},       // exact power of two: bucket it bounds
+		{1.5, histoZero + 1}, // (1, 2]
+		{2, histoZero + 1},
+		{0.5, histoZero - 1},
+		{0.75, histoZero},
+		{1 << 40, histoBuckets - 1}, // clamps at the top
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's bound must index back into itself — the invariant
+	// the text rendering and quantiles both lean on.
+	for i := 1; i < histoBuckets; i++ {
+		if got := bucketIndex(BucketBound(i)); got != i {
+			t.Errorf("bucketIndex(BucketBound(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistoSnapshot(t *testing.T) {
+	var h Histo
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+	for _, v := range []float64{1, 2, 4} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 3 || s.Sum != 7 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("snapshot stats: %+v", s)
+	}
+	// Non-empty buckets in ascending bound order, one observation each.
+	if len(s.Buckets) != 3 {
+		t.Fatalf("buckets: %+v", s.Buckets)
+	}
+	for i, want := range []float64{1, 2, 4} {
+		if s.Buckets[i].Le != want || s.Buckets[i].Count != 1 {
+			t.Errorf("bucket %d = %+v, want le=%g count=1", i, s.Buckets[i], want)
+		}
+	}
+	// Quantiles at bucket resolution: rank ceil(q*3) walks the bounds.
+	if s.P50 != 2 {
+		t.Errorf("P50 = %g, want 2", s.P50)
+	}
+	if s.P90 != 4 || s.P99 != 4 {
+		t.Errorf("P90/P99 = %g/%g, want 4/4", s.P90, s.P99)
+	}
+}
+
+// TestHistoQuantileClamp: quantiles never leave [min, max] even though
+// bucket bounds are coarser than the data.
+func TestHistoQuantileClamp(t *testing.T) {
+	var h Histo
+	h.Observe(3) // bucket (2, 4], bound 4
+	s := h.Snapshot()
+	if s.P50 != 3 || s.P99 != 3 {
+		t.Errorf("single-value quantiles must clamp to the observation: %+v", s)
+	}
+}
+
+func TestHistoConcurrency(t *testing.T) {
+	var h Histo
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Observe(float64(i % 17))
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 1600 {
+		t.Fatalf("lost observations: %+v", s)
+	}
+}
+
+// TestHistoTextRendering: WriteText renders histograms with a summary
+// line plus one line per non-empty bucket in ascending bound order,
+// interleaved with counters and gauges in one sorted namespace — and
+// identically on repeated renders (the /metricz parity property).
+func TestHistoTextRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a.counter", 2)
+	r.Gauge("z.gauge").Set(1.5)
+	for _, v := range []float64{0.5, 2, 8} {
+		r.Histo("m.lat.ms").Observe(v)
+	}
+	var b1, b2 strings.Builder
+	r.WriteText(&b1)
+	r.WriteText(&b2)
+	if b1.String() != b2.String() {
+		t.Fatalf("rendering not stable:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var idx []int
+	for i, l := range lines {
+		if strings.HasPrefix(l, "m.lat.ms") {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) != 4 { // summary + 3 non-empty buckets
+		t.Fatalf("histogram lines = %d, want 4:\n%s", len(idx), out)
+	}
+	if !strings.Contains(lines[idx[0]], "count=3") || !strings.Contains(lines[idx[0]], "p50=") {
+		t.Errorf("summary line: %q", lines[idx[0]])
+	}
+	for i, le := range []string{"0.5", "2", "8"} {
+		if !strings.Contains(lines[idx[1+i]], "[le="+le+"]") {
+			t.Errorf("bucket line %d = %q, want le=%s", i, lines[idx[1+i]], le)
+		}
+	}
+	// The histogram name sorts into the shared namespace: after the
+	// counter, before the gauge.
+	if !(strings.Index(out, "a.counter") < idx[0]*0+strings.Index(out, "m.lat.ms") &&
+		strings.Index(out, "m.lat.ms") < strings.Index(out, "z.gauge")) {
+		t.Errorf("names not in sorted order:\n%s", out)
+	}
+}
+
+// TestObserveMS: the helper is a single nil check without a session and
+// feeds the session histogram with one.
+func TestObserveMS(t *testing.T) {
+	ObserveMS("no.session", 1e6) // must not panic
+	reg := NewRegistry()
+	Start(&Session{Metrics: reg})
+	defer Stop()
+	ObserveMS("with.session.ms", 2e6) // 2ms
+	if s := reg.Histo("with.session.ms").Snapshot(); s.Count != 1 || s.Sum != 2 {
+		t.Fatalf("ObserveMS did not record: %+v", s)
+	}
+}

@@ -59,12 +59,13 @@ func (g *Gauge) Max(v float64) {
 // Value returns the current gauge reading.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// Registry holds named counters and gauges. The zero value is not
-// usable; construct with NewRegistry.
+// Registry holds named counters, gauges, and histograms. The zero
+// value is not usable; construct with NewRegistry.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	histos   map[string]*Histo
 }
 
 // NewRegistry returns an empty registry.
@@ -72,6 +73,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		histos:   make(map[string]*Histo),
 	}
 }
 
@@ -124,14 +126,33 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histo returns the named histogram, creating it on first use.
+func (r *Registry) Histo(name string) *Histo {
+	r.mu.RLock()
+	h, ok := r.histos[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histos[name]; ok {
+		return h
+	}
+	h = &Histo{}
+	r.histos[name] = h
+	return h
+}
+
 // Add is shorthand for Counter(name).Add(delta).
 func (r *Registry) Add(name string, delta int64) { r.Counter(name).Add(delta) }
 
 // Snapshot returns a stable copy of every metric: counters as int64,
-// gauges as float64.
+// gauges as float64, histograms as bucketed summaries.
 type Snapshot struct {
-	Counters map[string]int64   `json:"counters"`
-	Gauges   map[string]float64 `json:"gauges"`
+	Counters map[string]int64         `json:"counters"`
+	Gauges   map[string]float64       `json:"gauges"`
+	Histos   map[string]HistoSnapshot `json:"histos,omitempty"`
 }
 
 // Snapshot captures the current value of every registered metric.
@@ -147,6 +168,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, g := range r.gauges {
 		s.Gauges[n] = g.Value()
+	}
+	if len(r.histos) > 0 {
+		s.Histos = make(map[string]HistoSnapshot, len(r.histos))
+		for n, h := range r.histos {
+			s.Histos[n] = h.Snapshot()
+		}
 	}
 	return s
 }
@@ -168,20 +195,33 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WriteText writes the snapshot as sorted "name value" lines — the
-// human-readable dump behind `-metrics -`.
+// human-readable dump behind `-metrics -` and the /metricz endpoint
+// (the two renderings are byte-identical by construction: both call
+// this). A histogram renders as one summary line followed by its
+// non-empty buckets in ascending upper-bound order, so the bucket
+// layout is stable across runs and surfaces.
 func (r *Registry) WriteText(w io.Writer) {
 	s := r.Snapshot()
-	names := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histos))
 	for n := range s.Counters {
 		names = append(names, n)
 	}
 	for n := range s.Gauges {
 		names = append(names, n)
 	}
+	for n := range s.Histos {
+		names = append(names, n)
+	}
 	sort.Strings(names)
 	for _, n := range names {
 		if c, ok := s.Counters[n]; ok {
 			fmt.Fprintf(w, "%-40s %d\n", n, c)
+		} else if h, ok := s.Histos[n]; ok {
+			fmt.Fprintf(w, "%-40s count=%d sum=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+				n, h.Count, h.Sum, h.Min, h.P50, h.P90, h.P99, h.Max)
+			for _, b := range h.Buckets {
+				fmt.Fprintf(w, "%-40s %d\n", fmt.Sprintf("%s[le=%g]", n, b.Le), b.Count)
+			}
 		} else {
 			fmt.Fprintf(w, "%-40s %.2f\n", n, s.Gauges[n])
 		}

@@ -25,6 +25,7 @@ package obs
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/perf"
 )
@@ -51,6 +52,9 @@ type Session struct {
 	// Coverage aggregates per-check-site execution counts across runs
 	// (pythia-bench -coverage, /api/coverage).
 	Coverage *CoverageAgg
+	// Attrib aggregates per-check-site cycle costs for the overhead
+	// attribution engine (pythia-bench -attribution, /api/attribution).
+	Attrib *AttribAgg
 	// Metrics receives counters and gauges from the VM, the bench run
 	// cache, the prewarm pool, and the heap allocator.
 	Metrics *Registry
@@ -120,6 +124,25 @@ func CurrentCoverage() *CoverageAgg {
 		return s.Coverage
 	}
 	return nil
+}
+
+// CurrentAttrib returns the active session's attribution aggregator,
+// or nil.
+func CurrentAttrib() *AttribAgg {
+	if s := Current(); s != nil {
+		return s.Attrib
+	}
+	return nil
+}
+
+// ObserveMS folds a duration into the named registry histogram in
+// milliseconds; one nil check when no metrics are armed. The latency
+// call sites (pipeline stages, pool queue wait, VM runs) all funnel
+// through here.
+func ObserveMS(name string, d time.Duration) {
+	if reg := CurrentMetrics(); reg != nil {
+		reg.Histo(name).Observe(float64(d.Nanoseconds()) / 1e6)
+	}
 }
 
 func noopEnd() {}

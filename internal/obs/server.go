@@ -16,6 +16,10 @@ package obs
 //	/api/journal    the causal run journal's raw events (JSON)
 //	/api/spans      reconstructed journal spans with parent links (JSON)
 //	/api/coverage   defense-coverage rows per profile x scheme (JSON)
+//	/api/attribution  overhead attribution rows per profile x scheme
+//	                  (JSON; 404 unless the session armed attribution)
+//	/api/histo      latency histogram snapshots with quantiles (JSON;
+//	                404 unless the session carries a metrics registry)
 //
 // Every handler reads shared state that the running sweep is mutating
 // concurrently; all of it goes through the owning types' locks
@@ -111,6 +115,36 @@ func NewMux(sess *Session) *http.ServeMux {
 		writeJSON(w, struct {
 			Coverage []CoverageRow `json:"coverage"`
 		}{rows})
+	})
+	// The attribution and histogram endpoints 404 when their feature is
+	// not armed, unlike the older collections above: an empty answer
+	// from a surface that was never collecting would read as "measured,
+	// found nothing", which is the wrong signal for cost accounting.
+	mux.HandleFunc("/api/attribution", func(w http.ResponseWriter, r *http.Request) {
+		if sess == nil || sess.Attrib == nil {
+			http.Error(w, "attribution not armed", http.StatusNotFound)
+			return
+		}
+		rows := sess.Attrib.Rows()
+		if rows == nil {
+			rows = []AttribRow{}
+		}
+		writeJSON(w, struct {
+			Attribution []AttribRow `json:"attribution"`
+		}{rows})
+	})
+	mux.HandleFunc("/api/histo", func(w http.ResponseWriter, r *http.Request) {
+		if sess == nil || sess.Metrics == nil {
+			http.Error(w, "metrics not armed", http.StatusNotFound)
+			return
+		}
+		histos := sess.Metrics.Snapshot().Histos
+		if histos == nil {
+			histos = map[string]HistoSnapshot{}
+		}
+		writeJSON(w, struct {
+			Histos map[string]HistoSnapshot `json:"histos"`
+		}{histos})
 	})
 	return mux
 }

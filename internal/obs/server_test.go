@@ -102,15 +102,23 @@ func TestServerEndpoints(t *testing.T) {
 }
 
 // TestServerJournalEndpoints: /metricz mirrors the -metrics - text
-// dump, and the /api/journal, /api/spans, /api/coverage endpoints serve
-// the session's journal and coverage state as JSON.
+// dump (histogram lines included), and the /api/journal, /api/spans,
+// /api/coverage, /api/attribution, /api/histo endpoints serve the
+// session's journal, coverage, attribution and histogram state as JSON.
 func TestServerJournalEndpoints(t *testing.T) {
 	sess := &Session{
 		Metrics:  NewRegistry(),
 		Journal:  NewJournal(),
 		Coverage: NewCoverageAgg(),
+		Attrib:   NewAttribAgg(),
 	}
 	sess.Metrics.Add("endpoint_test.counter", 7)
+	for _, v := range []float64{0.5, 2, 8, 32} {
+		sess.Metrics.Histo("endpoint_test.lat.ms").Observe(v)
+	}
+	sess.Attrib.Record("p", "vanilla", "fp1", 100, 0, nil)
+	sess.Attrib.Record("p", "pythia", "fp1", 130, 2,
+		map[string]SiteCost{"@f#0:pa.sign": {Count: 4, Cycles: 20}})
 	end := sess.Journal.Begin("outer", "t")
 	sess.Journal.Begin("inner", "t")()
 	sess.Journal.Point("hit", "cache", map[string]string{"key": "k1"})
@@ -157,6 +165,26 @@ func TestServerJournalEndpoints(t *testing.T) {
 	if len(cr.Coverage) != 1 || cr.Coverage[0].Static != 2 || cr.Coverage[0].Executed != 1 {
 		t.Errorf("/api/coverage wrong content: %+v", cr.Coverage)
 	}
+
+	var ar struct {
+		Attribution []AttribRow `json:"attribution"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL, "/api/attribution"), &ar); err != nil {
+		t.Fatalf("/api/attribution does not parse: %v", err)
+	}
+	if len(ar.Attribution) != 1 || ar.Attribution[0].Scheme != "pythia" || ar.Attribution[0].Delta != 30 {
+		t.Errorf("/api/attribution wrong content: %+v", ar.Attribution)
+	}
+
+	var hr struct {
+		Histos map[string]HistoSnapshot `json:"histos"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL, "/api/histo"), &hr); err != nil {
+		t.Fatalf("/api/histo does not parse: %v", err)
+	}
+	if h, ok := hr.Histos["endpoint_test.lat.ms"]; !ok || h.Count != 4 || h.Sum != 42.5 {
+		t.Errorf("/api/histo wrong content: %+v", hr.Histos)
+	}
 }
 
 // TestServerCloseIdle: Close on an idle server returns nil — the
@@ -197,6 +225,18 @@ func TestServerNilSessionFields(t *testing.T) {
 		var doc map[string]json.RawMessage
 		if err := json.Unmarshal(get(t, ts.URL, p), &doc); err != nil {
 			t.Fatalf("%s (nil session fields) does not parse: %v", p, err)
+		}
+	}
+	// The cost-accounting endpoints 404 when their feature is not armed
+	// rather than serving an empty (and misleading) answer.
+	for _, p := range []string{"/api/attribution", "/api/histo"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s (not armed): status %d, want 404", p, resp.StatusCode)
 		}
 	}
 }

@@ -48,6 +48,18 @@ func (p *SiteProf) Add(fn, instr string, count int64, cycles float64) {
 	p.mu.Unlock()
 }
 
+// Get returns a copy of the site's accumulated stat, and whether the
+// site has been recorded at all.
+func (p *SiteProf) Get(fn, instr string) (SiteStat, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.sites[SiteKey{Func: fn, Instr: instr}]
+	if !ok {
+		return SiteStat{}, false
+	}
+	return *st, true
+}
+
 // Len returns the number of distinct sites recorded.
 func (p *SiteProf) Len() int {
 	p.mu.Lock()

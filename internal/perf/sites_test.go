@@ -52,3 +52,36 @@ func TestSiteProfAccumulatesAndIsConcurrencySafe(t *testing.T) {
 		t.Fatalf("accumulation wrong: %+v", top)
 	}
 }
+
+// TestSiteProfGet: Get returns a copy under the lock, so callers can
+// inspect a stat while writers keep folding into the same key.
+func TestSiteProfGet(t *testing.T) {
+	p := NewSiteProf()
+	if _, ok := p.Get("f", "add"); ok {
+		t.Fatal("Get on empty prof reported a stat")
+	}
+	p.Add("f", "add", 2, 5)
+	st, ok := p.Get("f", "add")
+	if !ok || st.Count != 2 || st.Cycles != 5 {
+		t.Fatalf("Get = %+v, %v", st, ok)
+	}
+	st.Count = 999 // mutating the copy must not touch the profiler
+	if got, _ := p.Get("f", "add"); got.Count != 2 {
+		t.Fatalf("Get handed out shared state: %+v", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Add("f", "add", 1, 1)
+				p.Get("f", "add")
+			}
+		}()
+	}
+	wg.Wait()
+	if st, _ := p.Get("f", "add"); st.Count != 802 {
+		t.Fatalf("concurrent Add/Get lost updates: %+v", st)
+	}
+}

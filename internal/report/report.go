@@ -83,6 +83,18 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Prefixed renders the table with every line prefixed — the shape the
+// CLIs use to put diagnostic tables on stderr as comment blocks (e.g.
+// "# ") without disturbing the machine-readable stdout stream.
+func (t *Table) Prefixed(prefix string) string {
+	s := strings.TrimRight(t.String(), "\n")
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
 // Markdown renders the table as a GitHub-flavored markdown table.
 func (t *Table) Markdown() string {
 	var b strings.Builder

@@ -195,3 +195,28 @@ func TestFormatters(t *testing.T) {
 		t.Fatal(report.Ratio(4.5))
 	}
 }
+
+func TestPrefixed(t *testing.T) {
+	tbl := &report.Table{ID: "x", Title: "t", Columns: []string{"a"}}
+	tbl.AddRow("1")
+	tbl.AddNote("note")
+	out := tbl.Prefixed("# ")
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("Prefixed must end with a newline")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for i, l := range lines {
+		if !strings.HasPrefix(l, "# ") {
+			t.Errorf("line %d not prefixed: %q", i, l)
+		}
+	}
+	// Stripping the prefix recovers the plain rendering exactly.
+	var recovered strings.Builder
+	for _, l := range lines {
+		recovered.WriteString(strings.TrimPrefix(l, "# "))
+		recovered.WriteString("\n")
+	}
+	if recovered.String() != tbl.String() {
+		t.Errorf("prefix not reversible:\n%q\nvs\n%q", recovered.String(), tbl.String())
+	}
+}

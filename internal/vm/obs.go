@@ -123,6 +123,14 @@ type obsState struct {
 	// Meta ids.
 	cover map[*ir.Instr]*obs.SiteCount
 
+	// attrib accumulates per-hardening-site execution counts and
+	// attributed cycles for this run; armed only when the session
+	// carries an AttribAgg. It shares the prev-tick cycle-delta chain
+	// with `local`, so a site's cost includes its own expansion plus
+	// the memory traffic it causes. The run exit path folds it into
+	// Result.SiteCosts keyed by stable site id.
+	attrib map[*ir.Instr]*obs.SiteCost
+
 	// decodedCalls/refCalls count engine routing decisions.
 	decodedCalls, refCalls int64
 
@@ -173,6 +181,12 @@ func newObsState(cfg Config) *obsState {
 		}
 		st.cover = make(map[*ir.Instr]*obs.SiteCount)
 	}
+	if s != nil && s.Attrib != nil {
+		if st == nil {
+			st = &obsState{}
+		}
+		st.attrib = make(map[*ir.Instr]*obs.SiteCost)
+	}
 	return st
 }
 
@@ -194,18 +208,38 @@ func (m *Machine) obsTick(f *ir.Func, in *ir.Instr) {
 		}
 		c.Execs++
 	}
-	if o.local != nil {
+	if o.local != nil || o.attrib != nil {
 		cyc := m.Meter.C.Cycles
 		if o.prevIn != nil {
-			acc, ok := o.local[o.prevIn]
-			if !ok {
-				acc = &siteAccum{f: o.prevF}
-				o.local[o.prevIn] = acc
-			}
-			acc.count++
-			acc.cycles += cyc - o.prevCyc
+			o.closePrev(cyc)
 		}
 		o.prevF, o.prevIn, o.prevCyc = f, in, cyc
+	}
+}
+
+// closePrev attributes the meter charge since the previous tick to the
+// previous instruction: into the session site profiler (when -hotsites
+// armed it) and, for hardening instructions, into the per-run
+// attribution profile (when -attribution armed it).
+func (o *obsState) closePrev(cyc float64) {
+	d := cyc - o.prevCyc
+	if o.local != nil {
+		acc, ok := o.local[o.prevIn]
+		if !ok {
+			acc = &siteAccum{f: o.prevF}
+			o.local[o.prevIn] = acc
+		}
+		acc.count++
+		acc.cycles += d
+	}
+	if o.attrib != nil && o.prevIn.Op.IsHardening() {
+		c, ok := o.attrib[o.prevIn]
+		if !ok {
+			c = &obs.SiteCost{}
+			o.attrib[o.prevIn] = c
+		}
+		c.Count++
+		c.Cycles += d
 	}
 }
 
@@ -266,6 +300,29 @@ func (m *Machine) obsCoverage() map[string]obs.SiteCount {
 	return out
 }
 
+// obsSiteCosts folds the machine-local per-hardening-site cost profile
+// into a map keyed by stable site id — the Result.SiteCosts payload.
+// Sites without an id (un-instrumented modules) are dropped. Unlike
+// obsCoverage this is only meaningful after obsFlush has closed the
+// trailing instruction, which Run guarantees.
+func (m *Machine) obsSiteCosts() map[string]obs.SiteCost {
+	if m.obs == nil || m.obs.attrib == nil {
+		return nil
+	}
+	out := make(map[string]obs.SiteCost, len(m.obs.attrib))
+	for in, c := range m.obs.attrib {
+		id := in.GetMeta("site")
+		if id == "" {
+			continue
+		}
+		prev := out[id]
+		prev.Count += c.Count
+		prev.Cycles += c.Cycles
+		out[id] = prev
+	}
+	return out
+}
+
 // obsFlush publishes everything accumulated since the last flush: the
 // trailing cycle delta, the site profile, the opcode histogram, engine
 // routing, curated counter deltas, and heap arena stats.
@@ -275,19 +332,13 @@ func (m *Machine) obsFlush() {
 		return
 	}
 	c := m.Meter.C
+	// Attribute the cycles charged after the last tick (the final
+	// instruction's own work) before folding into the shared profile.
+	if o.prevIn != nil {
+		o.closePrev(c.Cycles)
+		o.prevIn = nil
+	}
 	if o.local != nil {
-		// Attribute the cycles charged after the last tick (the final
-		// instruction's own work) before folding into the shared profile.
-		if o.prevIn != nil {
-			acc, ok := o.local[o.prevIn]
-			if !ok {
-				acc = &siteAccum{f: o.prevF}
-				o.local[o.prevIn] = acc
-			}
-			acc.count++
-			acc.cycles += c.Cycles - o.prevCyc
-			o.prevIn = nil
-		}
 		for in, acc := range o.local {
 			fn := ""
 			if acc.f != nil {

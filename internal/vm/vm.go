@@ -275,6 +275,12 @@ type Result struct {
 	// execution and fault counts for this run. Populated only when the
 	// active obs.Session carries a CoverageAgg; nil otherwise.
 	Coverage map[string]obs.SiteCount
+
+	// SiteCosts maps each hardening check site's stable id to its
+	// execution count and attributed modeled cycles for this run.
+	// Populated only when the active obs.Session carries an AttribAgg;
+	// nil otherwise.
+	SiteCosts map[string]obs.SiteCost
 }
 
 // Ok reports whether the run completed without a fault.
@@ -305,6 +311,7 @@ func (m *Machine) Run(fname string, args ...uint64) (*Result, error) {
 	}
 	res := &Result{Ret: ret, Fault: fault, Counters: m.Meter.C, Stdout: m.Stdout, SitesExecuted: len(m.siteHits)}
 	res.Coverage = m.obsCoverage()
+	res.SiteCosts = m.obsSiteCosts()
 	return res, nil
 }
 

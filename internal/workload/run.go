@@ -29,6 +29,11 @@ type RunResult struct {
 	// Coverage is the run's per-check-site dynamic tally keyed by stable
 	// site id; nil unless the session armed coverage telemetry.
 	Coverage map[string]obs.SiteCount
+
+	// SiteCosts is the run's per-check-site attributed cycle profile
+	// keyed by stable site id; nil unless the session armed the
+	// attribution engine.
+	SiteCosts map[string]obs.SiteCost
 }
 
 // Overhead returns this run's cycle overhead relative to base, percent.
@@ -131,6 +136,12 @@ func RunWith(pl *core.Pipeline, p *Profile, scheme core.Scheme) (*RunResult, err
 	// and the VM's per-site dynamic counts into the session aggregate
 	// (no-op unless -coverage armed one).
 	obs.CurrentCoverage().Record(p.Name, scheme.String(), siteIDs, prog.Mod.NumInstrs(), res.Coverage)
+	// Overhead attribution: fold this run's total cycles, bookkeeping
+	// cycles, and per-site attributed costs into the session aggregate
+	// (no-op unless -attribution armed one). Vanilla runs contribute the
+	// baseline the hardened cells diff against.
+	obs.CurrentAttrib().Record(p.Name, scheme.String(), p.Fingerprint(),
+		res.Counters.Cycles, res.Counters.BookkeepCycles, res.SiteCosts)
 	return &RunResult{
 		Profile:       p,
 		Scheme:        scheme,
@@ -143,5 +154,6 @@ func RunWith(pl *core.Pipeline, p *Profile, scheme core.Scheme) (*RunResult, err
 		StaticSites:   static,
 		ExecutedSites: res.SitesExecuted,
 		Coverage:      res.Coverage,
+		SiteCosts:     res.SiteCosts,
 	}, nil
 }

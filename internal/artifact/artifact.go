@@ -26,6 +26,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -123,6 +126,121 @@ func (s *Store) Put(key string, payload []byte) error {
 	}
 	count("artifact.put.writes", key)
 	return nil
+}
+
+// Stats summarizes the store's on-disk footprint.
+type Stats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// entryInfo is one on-disk entry observed by a walk.
+type entryInfo struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// walk lists the store's current entries. Temp files from in-flight
+// Puts (dot-prefixed) are skipped; entries deleted concurrently between
+// the directory listing and the stat simply drop out, so walking is
+// safe against concurrent Put/Get/Prune.
+func (s *Store) walk() ([]entryInfo, error) {
+	shards, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: stats: %w", err)
+	}
+	var out []entryInfo
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(s.root, sh.Name()))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("artifact: stats: %w", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+				continue
+			}
+			fi, err := e.Info()
+			if err != nil {
+				continue // raced with a concurrent delete
+			}
+			out = append(out, entryInfo{
+				path:  filepath.Join(s.root, sh.Name(), e.Name()),
+				size:  fi.Size(),
+				mtime: fi.ModTime(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// publish mirrors the footprint into the active metrics registry so a
+// long-lived embedder's /metricz tracks cache growth and eviction.
+func publish(st Stats) {
+	if reg := obs.CurrentMetrics(); reg != nil {
+		reg.Gauge("artifact.entries").Set(float64(st.Entries))
+		reg.Gauge("artifact.bytes").Set(float64(st.Bytes))
+	}
+}
+
+// Stats walks the store and reports its entry count and byte
+// footprint, updating the artifact.entries/artifact.bytes gauges.
+func (s *Store) Stats() (Stats, error) {
+	entries, err := s.walk()
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	for _, e := range entries {
+		st.Entries++
+		st.Bytes += e.size
+	}
+	publish(st)
+	return st, nil
+}
+
+// Prune evicts entries, oldest modification time first, until the
+// store's byte footprint is at most maxBytes, and returns the resulting
+// stats. Deletes are whole-file removes of self-verifying entries, so a
+// concurrent Get either wins the race and reads a complete entry or
+// misses cleanly and recomputes — never observes a torn one. Ties on
+// mtime break by path for determinism.
+func (s *Store) Prune(maxBytes int64) (Stats, error) {
+	entries, err := s.walk()
+	if err != nil {
+		return Stats{}, err
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path
+	})
+	kept := len(entries)
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+			return Stats{}, fmt.Errorf("artifact: prune: %w", err)
+		}
+		count("artifact.prune.evictions", filepath.Base(e.path))
+		total -= e.size
+		kept--
+	}
+	st := Stats{Entries: kept, Bytes: total}
+	publish(st)
+	return st, nil
 }
 
 // encodeEntry frames a payload: magic | version | sha256 | len | bytes.

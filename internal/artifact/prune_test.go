@@ -1,0 +1,135 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// entryDiskSize is the on-disk size of a stored payload: frame header
+// (magic + version + sha256 + length) plus the payload bytes.
+func entryDiskSize(payload int) int64 {
+	return int64(len(entryMagic) + 4 + 32 + 8 + payload)
+}
+
+// seed writes n entries with strictly increasing mtimes and returns
+// their keys in write (= age) order.
+func seed(t *testing.T, s *Store, n, payload int) []string {
+	t.Helper()
+	keys := make([]string, n)
+	base := time.Now().Add(-time.Duration(n+1) * time.Hour)
+	for i := range keys {
+		keys[i] = Key(fmt.Sprintf("entry-%d", i))
+		if err := s.Put(keys[i], make([]byte, payload)); err != nil {
+			t.Fatal(err)
+		}
+		// Explicit mtimes: rename preserves the temp file's timestamp,
+		// which is too coarse to order entries written microseconds apart.
+		mt := base.Add(time.Duration(i) * time.Hour)
+		if err := os.Chtimes(s.path(keys[i]), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func TestStatsCountsEntries(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := s.Stats(); err != nil || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("empty store stats = %+v (%v)", st, err)
+	}
+	seed(t, s, 5, 100)
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 5 || st.Bytes != 5*entryDiskSize(100) {
+		t.Fatalf("stats = %+v, want 5 entries x %d bytes", st, entryDiskSize(100))
+	}
+}
+
+// TestPruneEvictsOldestFirst: pruning removes strictly in mtime order
+// and stops as soon as the footprint fits.
+func TestPruneEvictsOldestFirst(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := seed(t, s, 4, 100)
+	sz := entryDiskSize(100)
+
+	st, err := s.Prune(2 * sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 2 || st.Bytes != 2*sz {
+		t.Fatalf("after prune: %+v, want 2 entries x %d bytes", st, sz)
+	}
+	for i, k := range keys {
+		_, ok := s.Get(k)
+		if wantKept := i >= 2; ok != wantKept {
+			t.Fatalf("entry %d kept=%v, want %v (oldest-first eviction)", i, ok, wantKept)
+		}
+	}
+	// A generous budget is a no-op.
+	if st, err := s.Prune(1 << 30); err != nil || st.Entries != 2 {
+		t.Fatalf("no-op prune: %+v (%v)", st, err)
+	}
+	// Zero evicts everything.
+	if st, err := s.Prune(0); err != nil || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("prune to zero: %+v (%v)", st, err)
+	}
+}
+
+// TestGetDuringPrune hammers Get on an entry guaranteed to survive
+// while Prune concurrently evicts everything else: the survivor must
+// stay readable throughout, and evicted keys must miss cleanly (never
+// return torn payloads — decodeEntry would reject them).
+func TestGetDuringPrune(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := seed(t, s, 50, 2048)
+	survivor := keys[len(keys)-1]
+	sz := entryDiskSize(2048)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if payload, ok := s.Get(survivor); !ok || len(payload) != 2048 {
+					t.Errorf("survivor unreadable during prune: ok=%v len=%d", ok, len(payload))
+					return
+				}
+				for _, k := range keys[:8] {
+					s.Get(k) // hit or clean miss, never a panic/torn read
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Prune(sz); err != nil {
+			t.Fatalf("prune %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if _, ok := s.Get(survivor); !ok {
+		t.Fatal("survivor evicted: prune must keep the newest entry under a one-entry budget")
+	}
+}

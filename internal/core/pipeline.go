@@ -109,6 +109,26 @@ var defaultPipeline = NewPipeline()
 // one construct their own via NewPipeline/OpenPipeline.
 func DefaultPipeline() *Pipeline { return defaultPipeline }
 
+// Store returns the pipeline's persistent artifact store, or nil for
+// an in-process-only pipeline — embedders (pythiad) use it to bound
+// and report the shared cache directory without opening it twice.
+func (pl *Pipeline) Store() *artifact.Store { return pl.store }
+
+// PipelineStats counts the stage entries memoized in process — the
+// service's "how much is this engine already holding" signal.
+type PipelineStats struct {
+	Compiles int `json:"compiles"`
+	Hardens  int `json:"hardens"`
+}
+
+// Stats reports the in-process memoization footprint. Entries still
+// being computed count too: the maps are populated at request time.
+func (pl *Pipeline) Stats() PipelineStats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return PipelineStats{Compiles: len(pl.compiles), Hardens: len(pl.hardens)}
+}
+
 // count bumps a pipeline obs counter, resolving the active registry at
 // increment time, and drops a journal point under the requesting span
 // so warm hits stay attributable to the request that made them.

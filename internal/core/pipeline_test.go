@@ -233,3 +233,36 @@ func TestPipelineCompileOwnsModule(t *testing.T) {
 		t.Fatal("Compile results must be identical")
 	}
 }
+
+// TestPipelineStats: the memoization footprint counts distinct compile
+// and harden entries, and Store is nil only for in-process pipelines.
+func TestPipelineStats(t *testing.T) {
+	pl := core.NewPipeline()
+	if st := pl.Stats(); st.Compiles != 0 || st.Hardens != 0 {
+		t.Fatalf("fresh pipeline stats = %+v", st)
+	}
+	if pl.Store() != nil {
+		t.Fatal("in-process pipeline must have a nil store")
+	}
+	src := "int main() { return 3; }"
+	for _, s := range []core.Scheme{core.SchemeVanilla, core.SchemePythia} {
+		if _, err := pl.Build("stats-probe", src, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same source again: no new entries.
+	if _, err := pl.Build("stats-probe", src, core.SchemePythia); err != nil {
+		t.Fatal(err)
+	}
+	if st := pl.Stats(); st.Compiles != 1 || st.Hardens != 2 {
+		t.Fatalf("stats = %+v, want 1 compile / 2 hardens", st)
+	}
+
+	dp, err := core.OpenPipeline(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Store() == nil {
+		t.Fatal("disk-backed pipeline must expose its store")
+	}
+}

@@ -132,10 +132,12 @@ func runInput(p *core.Program, input []byte, cov *vm.Coverage, flight int) (*vm.
 	return m.Run("main")
 }
 
-// classifyRun maps a run result to a verdict, folding out-of-fuel into
-// the hang marker.
+// classifyRun maps a run result to a verdict, folding resource-budget
+// exhaustion (fuel, page quota) into the hang marker: schemes consume
+// both asymmetrically, so treating either as a crash would flood the
+// differential oracle with budget artifacts.
 func classifyRun(res *vm.Result) verdict {
-	if res.Fault != nil && res.Fault.Kind == vm.FaultOOF {
+	if res.Fault != nil && (res.Fault.Kind == vm.FaultOOF || res.Fault.Kind == vm.FaultOOM) {
 		return verdict{hang: true}
 	}
 	return verdict{v: attack.Classify(res)}

@@ -35,6 +35,10 @@ const (
 
 const pageSize = 4096
 
+// PageSize is the simulated page granularity, for callers expressing
+// memory quotas in pages (vm.Config.MaxPages, pythiad -max-pages).
+const PageSize = pageSize
+
 // Fault is a memory access violation; the VM reports it as a crash of
 // the simulated program (the detection signal for most defenses).
 type Fault struct {
@@ -47,6 +51,22 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("mem: %s fault at %#x: %s", f.Op, f.Addr, f.Why)
 }
 
+// LimitError reports an access that would commit a page beyond the
+// space's configured page quota — the simulated analogue of the kernel
+// refusing to grow a cgroup-limited process. It is a distinct type from
+// Fault so the VM can classify quota exhaustion as its own fault kind
+// (out-of-memory) instead of a segmentation fault.
+type LimitError struct {
+	Addr  uint64
+	Op    string // "load", "store"
+	Limit int    // the quota, in pages
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("mem: %s at %#x exceeds page quota (%d pages = %d bytes committed)",
+		e.Op, e.Addr, e.Limit, e.Limit*pageSize)
+}
+
 // Memory is a sparse paged byte store. A one-entry page cache short-
 // circuits the page-map lookup for the overwhelmingly common case of
 // consecutive accesses landing on the same 4 KiB page (stack frames,
@@ -56,6 +76,10 @@ type Memory struct {
 	pages    map[uint64]*[pageSize]byte
 	lastBase uint64
 	lastPage *[pageSize]byte
+	// limit caps the number of committed pages; 0 is unlimited. Accesses
+	// that would allocate past the cap fail with a LimitError before any
+	// page is committed, so a quota-exceeding run leaves memory intact.
+	limit int
 }
 
 // New returns an empty address space.
@@ -64,11 +88,21 @@ func New() *Memory {
 }
 
 // Reset drops every page, returning the memory to its initial state.
+// A configured page limit survives the reset.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint64]*[pageSize]byte)
 	m.lastPage = nil
 	m.lastBase = 0
 }
+
+// SetPageLimit caps the committed-page count at n (0 lifts the cap).
+// Pages already committed stay accessible even when they exceed a
+// newly lowered cap; only fresh commits are refused, so callers can
+// lay out an image first and quota runtime growth afterwards.
+func (m *Memory) SetPageLimit(n int) { m.limit = n }
+
+// PageLimit returns the configured page quota (0 = unlimited).
+func (m *Memory) PageLimit() int { return m.limit }
 
 func (m *Memory) page(addr uint64) *[pageSize]byte {
 	base := addr &^ uint64(pageSize-1)
@@ -101,17 +135,43 @@ func (m *Memory) check(addr uint64, n int, op string) error {
 		if op == "store" {
 			return &Fault{Addr: addr, Op: op, Why: "write to code segment"}
 		}
-		return nil
 	case addr >= GlobalBase && end <= GlobalLimit:
-		return nil
 	case addr >= SharedBase && end <= SharedLimit:
-		return nil
 	case addr >= IsolatedBase && end <= IsolatedLim:
-		return nil
 	case addr >= StackLimit && end <= StackTop:
+	default:
+		return &Fault{Addr: addr, Op: op, Why: "unmapped segment"}
+	}
+	return m.checkLimit(addr, end, op)
+}
+
+// checkLimit enforces the page quota for an in-segment access of
+// [addr, end). The fast path — no limit, or comfortably under it — is
+// two comparisons; only accesses that could push past the cap pay the
+// per-page map probes to count how many pages they would freshly commit.
+func (m *Memory) checkLimit(addr, end uint64, op string) error {
+	if m.limit <= 0 || end <= addr { // zero-length accesses commit nothing
 		return nil
 	}
-	return &Fault{Addr: addr, Op: op, Why: "unmapped segment"}
+	first := addr &^ uint64(pageSize-1)
+	last := (end - 1) &^ uint64(pageSize-1)
+	span := int((last-first)/pageSize) + 1
+	if len(m.pages)+span <= m.limit {
+		return nil
+	}
+	fresh := 0
+	for b := first; ; b += pageSize {
+		if _, ok := m.pages[b]; !ok {
+			fresh++
+		}
+		if b == last {
+			break
+		}
+	}
+	if len(m.pages)+fresh > m.limit {
+		return &LimitError{Addr: addr, Op: op, Limit: m.limit}
+	}
+	return nil
 }
 
 // readInto fills out from [addr, addr+len(out)) one page run at a time.

@@ -177,11 +177,19 @@ type Server struct {
 // on demand; the background Serve error is captured and surfaced by
 // Close.
 func StartServer(addr string, sess *Session) (*Server, error) {
+	return StartServerHandler(addr, NewMux(sess))
+}
+
+// StartServerHandler is StartServer over a caller-supplied handler, for
+// embedders that mount extra routes on top of NewMux — pythiad adds its
+// /api/v1 service surface to the observability set and inherits the
+// same lifecycle, including Close's graceful drain.
+func StartServerHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(sess)}, serveErr: make(chan error, 1)}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}, serveErr: make(chan error, 1)}
 	go func() { s.serveErr <- s.srv.Serve(ln) }()
 	return s, nil
 }

@@ -313,3 +313,26 @@ func TestServerRace(t *testing.T) {
 		t.Errorf("progress snapshot after race: %+v", snap)
 	}
 }
+
+// TestStartServerHandler: an embedder-composed handler serves both the
+// observability mux routes and its own, through the same lifecycle.
+func TestStartServerHandler(t *testing.T) {
+	mux := NewMux(&Session{Metrics: NewRegistry()})
+	mux.HandleFunc("/api/v1/extra", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("extra ok"))
+	})
+	srv, err := StartServerHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+	if body := get(t, base, "/healthz"); !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %q", body)
+	}
+	if body := get(t, base, "/api/v1/extra"); string(body) != "extra ok" {
+		t.Fatalf("extra route: %q", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package service
+
+// Per-tenant accounting. A tenant is just a key the client presents
+// (the `tenant` request field or X-Pythia-Tenant header); the engine
+// gives each key its own admission quota and counters. Address-space
+// isolation needs no bookkeeping here: every run gets a fresh
+// vm.Machine over a fresh simulated memory, so nothing a tenant's
+// program writes is visible to any other run, same-tenant or not.
+
+import "sort"
+
+// tenant is one tenant's live state, guarded by Engine.mu.
+type tenant struct {
+	name     string
+	inflight int // admitted, not yet answered — quota'd by TenantInflight
+
+	submits   int64
+	completed int64
+	rejected  int64
+	errors    int64 // bad-request outcomes (build/run contract failures)
+	cacheHits int64
+	verdicts  map[string]int64
+}
+
+// account folds one finished job into the tenant's counters.
+func (t *tenant) account(resp *SubmitResponse, err error) {
+	t.completed++
+	if err != nil {
+		t.errors++
+		return
+	}
+	t.verdicts[resp.Verdict]++
+	if resp.CacheHit {
+		t.cacheHits++
+	}
+}
+
+// tenantLocked returns (creating on first use) the named tenant's
+// state. Caller holds e.mu.
+func (e *Engine) tenantLocked(name string) *tenant {
+	t, ok := e.tenants[name]
+	if !ok {
+		t = &tenant{name: name, verdicts: make(map[string]int64)}
+		e.tenants[name] = t
+	}
+	return t
+}
+
+// TenantSnapshot is one tenant's counters at a point in time, the
+// /api/v1/tenants row.
+type TenantSnapshot struct {
+	Name      string           `json:"name"`
+	Inflight  int              `json:"inflight"`
+	Submits   int64            `json:"submits"`
+	Completed int64            `json:"completed"`
+	Rejected  int64            `json:"rejected"`
+	Errors    int64            `json:"errors"`
+	CacheHits int64            `json:"cache_hits"`
+	Verdicts  map[string]int64 `json:"verdicts"`
+}
+
+// Tenants returns a stable (name-sorted) snapshot of every tenant seen
+// since startup.
+func (e *Engine) Tenants() []TenantSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]TenantSnapshot, 0, len(e.tenants))
+	for _, t := range e.tenants {
+		vs := make(map[string]int64, len(t.verdicts))
+		for k, v := range t.verdicts {
+			vs[k] = v
+		}
+		out = append(out, TenantSnapshot{
+			Name:      t.name,
+			Inflight:  t.inflight,
+			Submits:   t.submits,
+			Completed: t.completed,
+			Rejected:  t.rejected,
+			Errors:    t.errors,
+			CacheHits: t.cacheHits,
+			Verdicts:  vs,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

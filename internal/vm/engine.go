@@ -171,7 +171,7 @@ blockLoop:
 				m.Meter.OnLoad(addr)
 				v, err := m.Mem.ReadUint(addr, di.size)
 				if err != nil {
-					panic(m.fault(FaultSegv, f, di.in, err))
+					panic(m.fault(memKind(err), f, di.in, err))
 				}
 				slots[di.dst] = signExtend(v, di.size)
 
@@ -181,7 +181,7 @@ blockLoop:
 				addr := fr.get(di.args[1])
 				m.Meter.OnStore(addr)
 				if err := m.Mem.WriteUint(addr, val, di.size); err != nil {
-					panic(m.fault(FaultSegv, f, di.in, err))
+					panic(m.fault(memKind(err), f, di.in, err))
 				}
 
 			case ir.OpGEP:
@@ -328,12 +328,12 @@ blockLoop:
 				addr := fr.get(di.args[1])
 				m.Meter.OnStore(addr)
 				if err := m.Mem.WriteUint(addr, val, 8); err != nil {
-					panic(m.fault(FaultSegv, f, di.in, err))
+					panic(m.fault(memKind(err), f, di.in, err))
 				}
 				mac := pa.GenericMAC(val, addr, m.Keys.APGA)
 				m.Meter.OnStore(addr + 8)
 				if err := m.Mem.WriteUint(addr+8, mac, 8); err != nil {
-					panic(m.fault(FaultSegv, f, di.in, err))
+					panic(m.fault(memKind(err), f, di.in, err))
 				}
 
 			case ir.OpCheckLoad:
@@ -342,12 +342,12 @@ blockLoop:
 				m.Meter.OnLoad(addr)
 				val, err := m.Mem.ReadUint(addr, 8)
 				if err != nil {
-					panic(m.fault(FaultSegv, f, di.in, err))
+					panic(m.fault(memKind(err), f, di.in, err))
 				}
 				m.Meter.OnLoad(addr + 8)
 				mac, err := m.Mem.ReadUint(addr+8, 8)
 				if err != nil {
-					panic(m.fault(FaultSegv, f, di.in, err))
+					panic(m.fault(memKind(err), f, di.in, err))
 				}
 				want := pa.GenericMAC(val, addr, m.Keys.APGA)
 				// Hardware verifies only the PAC-width truncation of the MAC.

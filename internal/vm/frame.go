@@ -91,7 +91,7 @@ func (m *Machine) pushFrameMem(f *ir.Func, plan *ir.StackPlan, size int64) uint6
 		m.zeroBuf = make([]byte, size)
 	}
 	if err := m.Mem.WriteBytes(base, m.zeroBuf[:size]); err != nil {
-		panic(m.fault(FaultRuntime, f, nil, err))
+		panic(m.fault(oomOr(err, FaultRuntime), f, nil, err))
 	}
 	// The DFI runtime definitions table tracks *current* memory: entries
 	// from a dead frame that happened to use these addresses are stale.
@@ -110,7 +110,7 @@ func (m *Machine) pushFrameMem(f *ir.Func, plan *ir.StackPlan, size int64) uint6
 			slot := base + uint64(s.Offset)
 			mac := pa.GenericMAC(0, slot, m.Keys.APGA)
 			if err := m.Mem.WriteUint(slot+8, mac, 8); err != nil {
-				panic(m.fault(FaultRuntime, f, nil, err))
+				panic(m.fault(oomOr(err, FaultRuntime), f, nil, err))
 			}
 		}
 	}
@@ -158,7 +158,7 @@ func (m *Machine) canarySetAt(f *ir.Func, in *ir.Instr, slot uint64) {
 	signed := signCanary(m, nonce, slot)
 	m.Meter.OnStore(slot)
 	if err := m.Mem.WriteUint(slot, signed, 8); err != nil {
-		panic(m.fault(FaultSegv, f, in, err))
+		panic(m.fault(memKind(err), f, in, err))
 	}
 	m.canaryShadow[slot] = signed
 }
@@ -169,7 +169,7 @@ func (m *Machine) canaryCheckAt(f *ir.Func, in *ir.Instr, slot uint64) {
 	m.Meter.OnLoad(slot)
 	v, err := m.Mem.ReadUint(slot, 8)
 	if err != nil {
-		panic(m.fault(FaultSegv, f, in, err))
+		panic(m.fault(memKind(err), f, in, err))
 	}
 	if _, ok := pa.Auth(v, slot, m.Keys.APGA); !ok {
 		panic(m.fault(FaultCanary, f, in, &canaryError{Addr: slot, Val: v}))

@@ -104,7 +104,7 @@ func (m *Machine) writeBytesMetered(f *ir.Func, in *ir.Instr, addr uint64, b []b
 		m.Meter.C.Cycles += 1 / m.Meter.M.RetireWidth
 	}
 	if err := m.Mem.WriteBytes(addr, b); err != nil {
-		panic(m.fault(FaultSegv, f, in, err))
+		panic(m.fault(memKind(err), f, in, err))
 	}
 }
 
@@ -118,7 +118,7 @@ func (m *Machine) readBytesMetered(f *ir.Func, in *ir.Instr, addr uint64, n int)
 	}
 	b, err := m.Mem.ReadBytes(addr, n)
 	if err != nil {
-		panic(m.fault(FaultSegv, f, in, err))
+		panic(m.fault(memKind(err), f, in, err))
 	}
 	return b
 }
@@ -126,7 +126,7 @@ func (m *Machine) readBytesMetered(f *ir.Func, in *ir.Instr, addr uint64, n int)
 func (m *Machine) cstring(f *ir.Func, in *ir.Instr, addr uint64) string {
 	s, err := m.Mem.ReadCString(addr, 1<<20)
 	if err != nil {
-		panic(m.fault(FaultSegv, f, in, err))
+		panic(m.fault(memKind(err), f, in, err))
 	}
 	return s
 }
@@ -382,7 +382,7 @@ func (m *Machine) scanf(f *ir.Func, in *ir.Instr, args []uint64, id int) (uint64
 			v, _ := strconv.ParseInt(tok, 10, 64)
 			m.Meter.OnStore(args[argi])
 			if err := m.Mem.WriteUint(args[argi], uint64(v), 8); err != nil {
-				return converted, m.fault(FaultSegv, f, in, err)
+				return converted, m.fault(memKind(err), f, in, err)
 			}
 			m.dfiMarkRange(args[argi], 8, id)
 			argi++

@@ -1,0 +1,116 @@
+package vm_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+// pageHog touches one byte per page across enough of the shared heap to
+// blow any small page quota. 64 pages * 4 KiB = 256 KiB of committed
+// growth on top of the image.
+const pageHog = `
+int main() {
+	char *p = malloc(262144);
+	int i;
+	for (i = 0; i < 64; i = i + 1) {
+		p[i * 4096] = 1;
+	}
+	return 7;
+}`
+
+// TestOOMFault: a page-hungry run under Config.MaxPages terminates
+// with a clean FaultOOM carrying the typed mem.LimitError, instead of
+// committing the whole allocation.
+func TestOOMFault(t *testing.T) {
+	mod, err := minic.Compile("hog", pageHog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discover the baseline footprint (image + frame + allocator
+	// metadata) with one unlimited run, then re-run with a cap that
+	// admits only a few pages of growth.
+	probe := vm.New(mod, vm.Config{Seed: 7})
+	if res, err := probe.Run("main"); err != nil || res.Fault != nil {
+		t.Fatalf("unlimited probe must run clean: %v %v", err, res.Fault)
+	}
+
+	m := vm.New(mod, vm.Config{Seed: 7, MaxPages: probe.Mem.Footprint() - 16, Flight: 8})
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault == nil || res.Fault.Kind != vm.FaultOOM {
+		t.Fatalf("fault = %v, want oom", res.Fault)
+	}
+	var le *mem.LimitError
+	if !errors.As(res.Fault.Err, &le) {
+		t.Fatalf("fault error = %v, want mem.LimitError", res.Fault.Err)
+	}
+	if !strings.Contains(res.Fault.Error(), "oom fault") {
+		t.Fatalf("fault string %q must name the oom kind", res.Fault.Error())
+	}
+	// FaultOOM gets the same forensics treatment as any other fault.
+	if res.Fault.Forensics == nil || res.Fault.Forensics.Kind != "oom" {
+		t.Fatalf("forensics = %+v, want armed with kind oom", res.Fault.Forensics)
+	}
+}
+
+// TestOOMQuotaAdmitsCleanRun: the same program under a generous quota
+// completes exactly as an unlimited machine would.
+func TestOOMQuotaAdmitsCleanRun(t *testing.T) {
+	mod, err := minic.Compile("hog", pageHog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(mod, vm.Config{Seed: 7, MaxPages: 4096})
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault != nil {
+		t.Fatalf("quota'd clean run faulted: %v", res.Fault)
+	}
+	if res.Ret != 7 {
+		t.Fatalf("ret = %d, want 7", res.Ret)
+	}
+}
+
+// TestOOMEngineParity: the decoded engine and the reference interpreter
+// classify quota exhaustion identically.
+func TestOOMEngineParity(t *testing.T) {
+	mod, err := minic.Compile("hog", pageHog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := vm.New(mod, vm.Config{Seed: 7})
+	if res, err := probe.Run("main"); err != nil || res.Fault != nil {
+		t.Fatalf("unlimited probe must run clean: %v %v", err, res.Fault)
+	}
+	cap := probe.Mem.Footprint() - 16
+
+	run := func(ref bool) *vm.Result {
+		mod2, err := minic.Compile("hog", pageHog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := vm.New(mod2, vm.Config{Seed: 7, MaxPages: cap, Reference: ref})
+		res, err := m.Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dec, ref := run(false), run(true)
+	if dec.Fault == nil || ref.Fault == nil ||
+		dec.Fault.Kind != vm.FaultOOM || ref.Fault.Kind != vm.FaultOOM {
+		t.Fatalf("engine/reference disagree: %v vs %v", dec.Fault, ref.Fault)
+	}
+	if dec.Fault.Err.Error() != ref.Fault.Err.Error() {
+		t.Fatalf("fault messages differ: %q vs %q", dec.Fault.Err, ref.Fault.Err)
+	}
+}

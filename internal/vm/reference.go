@@ -107,7 +107,7 @@ func (m *Machine) refExecInstr(fr *refFrame, in *ir.Instr) {
 		m.Meter.OnLoad(addr)
 		v, err := m.Mem.ReadUint(addr, sz)
 		if err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
+			panic(m.fault(memKind(err), f, in, err))
 		}
 		fr.regs[in] = signExtend(v, sz)
 
@@ -117,7 +117,7 @@ func (m *Machine) refExecInstr(fr *refFrame, in *ir.Instr) {
 		sz := int(in.Args[0].Type().Size())
 		m.Meter.OnStore(addr)
 		if err := m.Mem.WriteUint(addr, val, sz); err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
+			panic(m.fault(memKind(err), f, in, err))
 		}
 
 	case ir.OpGEP:
@@ -226,12 +226,12 @@ func (m *Machine) refExecInstr(fr *refFrame, in *ir.Instr) {
 		addr := m.refEval(fr, in.Args[1])
 		m.Meter.OnStore(addr)
 		if err := m.Mem.WriteUint(addr, val, 8); err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
+			panic(m.fault(memKind(err), f, in, err))
 		}
 		mac := pa.GenericMAC(val, addr, m.Keys.APGA)
 		m.Meter.OnStore(addr + 8)
 		if err := m.Mem.WriteUint(addr+8, mac, 8); err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
+			panic(m.fault(memKind(err), f, in, err))
 		}
 
 	case ir.OpCheckLoad:
@@ -239,12 +239,12 @@ func (m *Machine) refExecInstr(fr *refFrame, in *ir.Instr) {
 		m.Meter.OnLoad(addr)
 		val, err := m.Mem.ReadUint(addr, 8)
 		if err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
+			panic(m.fault(memKind(err), f, in, err))
 		}
 		m.Meter.OnLoad(addr + 8)
 		mac, err := m.Mem.ReadUint(addr+8, 8)
 		if err != nil {
-			panic(m.fault(FaultSegv, f, in, err))
+			panic(m.fault(memKind(err), f, in, err))
 		}
 		want := pa.GenericMAC(val, addr, m.Keys.APGA)
 		// Hardware verifies only the PAC-width truncation of the MAC.

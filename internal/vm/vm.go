@@ -116,6 +116,14 @@ type Config struct {
 	Model *perf.Model
 	Fuel  int64
 
+	// MaxPages caps the simulated address space's committed 4 KiB pages
+	// (0 = unlimited). The cap is installed after image layout, so it
+	// quotas runtime growth — heap, stack, globals written later — and a
+	// run that exceeds it terminates with a FaultOOM fault instead of
+	// ballooning the host process; alongside Fuel this bounds both axes
+	// a tenant's program can burn.
+	MaxPages int
+
 	// Reference selects the pre-decode tree-walking interpreter instead
 	// of the slot engine. It exists for differential testing — the two
 	// engines must produce byte-identical results — and costs roughly
@@ -174,6 +182,11 @@ func New(mod *ir.Module, cfg Config) *Machine {
 	}
 	m.obs = newObsState(cfg)
 	m.layoutImage()
+	if cfg.MaxPages > 0 {
+		// Install the quota after layout: the image (globals, seals) is
+		// always mapped; the cap governs what the run commits on top.
+		m.Mem.SetPageLimit(cfg.MaxPages)
+	}
 	return m
 }
 
@@ -239,9 +252,10 @@ const (
 	FaultDFI               // CHKDEF mismatch (DFI baseline)
 	FaultOOF               // out of fuel
 	FaultRuntime           // division by zero, stack overflow, etc.
+	FaultOOM               // simulated page quota exhausted (Config.MaxPages)
 )
 
-var faultNames = [...]string{"none", "segv", "pac", "canary", "dfi", "out-of-fuel", "runtime"}
+var faultNames = [...]string{"none", "segv", "pac", "canary", "dfi", "out-of-fuel", "runtime", "oom"}
 
 func (k FaultKind) String() string {
 	if k < 0 || int(k) >= len(faultNames) {
@@ -259,6 +273,22 @@ func (f *Fault) Error() string {
 
 // ErrOutOfFuel reports budget exhaustion.
 var ErrOutOfFuel = errors.New("vm: instruction budget exhausted")
+
+// oomOr classifies a memory-subsystem error: page-quota exhaustion
+// (mem.LimitError) is FaultOOM — the same typed-error and forensics
+// treatment as FaultOOF — while anything else keeps the caller's
+// fallback kind.
+func oomOr(err error, fallback FaultKind) FaultKind {
+	var le *mem.LimitError
+	if errors.As(err, &le) {
+		return FaultOOM
+	}
+	return fallback
+}
+
+// memKind maps an error from a load/store to its fault kind: OOM for
+// quota exhaustion, segv for everything else package mem reports.
+func memKind(err error) FaultKind { return oomOr(err, FaultSegv) }
 
 // Result summarises one program run.
 type Result struct {
@@ -405,7 +435,7 @@ func (m *Machine) objectMAC(f *ir.Func, in *ir.Instr, addr uint64, size int) uin
 	// verify the whole object so corruption anywhere is caught.
 	b, err := m.Mem.ReadBytes(addr, size)
 	if err != nil {
-		panic(m.fault(FaultSegv, f, in, err))
+		panic(m.fault(memKind(err), f, in, err))
 	}
 	h := uint64(0xcbf29ce484222325)
 	for _, x := range b {
